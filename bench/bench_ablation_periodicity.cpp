@@ -1,0 +1,146 @@
+// Ablation study (ours, motivated by §IV-C): the paper's dynamic-histogram
+// detector versus (a) the same Jeffrey test over statically-anchored bins,
+// (b) the stddev strawman the paper discarded, (c) autocorrelation
+// (BotSniffer-style) and (d) FFT spectral peak (BotFinder-style) — swept
+// over beacon jitter and outlier rates, measuring detection rate on
+// beacons (TPR) and false-alarm rate on human browsing (FPR).
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "bench_common.h"
+#include "timing/clustering.h"
+#include "timing/periodicity.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace eid;
+
+std::vector<util::TimePoint> make_beacon(util::Rng& rng, double period,
+                                         double jitter, double outlier_prob) {
+  std::vector<util::TimePoint> out;
+  double t = 1000.0;
+  for (int i = 0; i < 120; ++i) {
+    if (!rng.chance(outlier_prob)) {
+      out.push_back(static_cast<util::TimePoint>(t));
+    }
+    t += period + (jitter > 0 ? rng.normal(0.0, jitter) : 0.0);
+  }
+  return out;
+}
+
+std::vector<util::TimePoint> make_browsing(util::Rng& rng) {
+  std::vector<util::TimePoint> out;
+  util::TimePoint t = 1000;
+  const int sessions = 3 + static_cast<int>(rng.uniform(5));
+  for (int s = 0; s < sessions; ++s) {
+    t += static_cast<util::TimePoint>(rng.exponential(7000.0));
+    const int requests = 2 + static_cast<int>(rng.uniform(10));
+    for (int r = 0; r < requests; ++r) {
+      t += 1 + static_cast<util::TimePoint>(rng.exponential(25.0));
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+/// A static-bin variant of the paper's detector, for the binning ablation.
+bool static_bin_automated(std::span<const util::TimePoint> times, double width,
+                          double jt) {
+  const auto intervals = timing::inter_connection_intervals(times);
+  if (intervals.size() < 4) return false;
+  const timing::Histogram h = timing::static_bins(intervals, width);
+  const timing::Histogram ref = timing::periodic_reference(h.top_bin().hub);
+  return timing::jeffrey_divergence(h, ref) <= jt;
+}
+
+struct Rates {
+  double tpr = 0.0;
+  double fpr = 0.0;
+};
+
+template <typename Fn>
+Rates measure(Fn&& is_automated, double jitter, double outlier_prob) {
+  util::Rng rng(42);
+  const int trials = 300;
+  int tp = 0;
+  int fp = 0;
+  static constexpr double kPeriods[] = {120, 300, 600, 1800};
+  for (int i = 0; i < trials; ++i) {
+    const double period = kPeriods[i % 4];
+    if (is_automated(make_beacon(rng, period, jitter, outlier_prob))) ++tp;
+    if (is_automated(make_browsing(rng))) ++fp;
+  }
+  return Rates{static_cast<double>(tp) / trials, static_cast<double>(fp) / trials};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation", "Periodicity detectors vs jitter and outliers");
+
+  const timing::PeriodicityDetector dynamic;  // W=10, JT=0.06
+  const timing::StdDevDetector stddev;
+  const timing::AutocorrDetector autocorr;
+  const timing::FftDetector fft;
+
+  struct Detector {
+    const char* name;
+    std::function<bool(std::vector<util::TimePoint>)> test;
+  };
+  const std::vector<Detector> detectors = {
+      {"dynamic-hist (paper)",
+       [&](std::vector<util::TimePoint> t) { return dynamic.test(t).automated; }},
+      {"static-bins + Jeffrey",
+       [&](std::vector<util::TimePoint> t) {
+         return static_bin_automated(t, 10.0, 0.06);
+       }},
+      {"stddev (CoV < 0.1)",
+       [&](std::vector<util::TimePoint> t) { return stddev.test(t).automated; }},
+      {"autocorrelation",
+       [&](std::vector<util::TimePoint> t) { return autocorr.test(t).automated; }},
+      {"FFT peak SNR",
+       [&](std::vector<util::TimePoint> t) { return fft.test(t).automated; }},
+  };
+
+  std::printf("\n-- sweep 1: beacon jitter (stddev seconds), no outliers --\n");
+  std::printf("%-24s", "detector");
+  const double jitters[] = {0.0, 1.0, 2.0, 4.0, 8.0};
+  for (const double j : jitters) std::printf("  j=%-4.0fTPR", j);
+  std::printf("   FPR\n");
+  for (const auto& det : detectors) {
+    std::printf("%-24s", det.name);
+    double fpr = 0.0;
+    for (const double j : jitters) {
+      const Rates r = measure(det.test, j, 0.0);
+      std::printf("  %7.2f%%", 100.0 * r.tpr);
+      fpr = r.fpr;
+    }
+    std::printf("  %5.2f%%\n", 100.0 * fpr);
+  }
+
+  std::printf("\n-- sweep 2: outlier probability (missed beacons), jitter 2 s --\n");
+  std::printf("%-24s", "detector");
+  const double outliers[] = {0.0, 0.02, 0.05, 0.10, 0.20};
+  for (const double o : outliers) std::printf("  o=%-4.2fTPR", o);
+  std::printf("\n");
+  for (const auto& det : detectors) {
+    std::printf("%-24s", det.name);
+    for (const double o : outliers) {
+      const Rates r = measure(det.test, 2.0, o);
+      std::printf("  %7.2f%%", 100.0 * r.tpr);
+    }
+    std::printf("\n");
+  }
+
+  bench::print_note(
+      "expected shape (§IV-C): the dynamic histogram keeps near-100% TPR "
+      "under small jitter and outliers; stddev collapses with outliers; "
+      "static bins lose beacons whose jitter straddles bin edges; "
+      "autocorr/FFT degrade as accumulated phase drift breaks slot "
+      "alignment.");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Shared scaffolding for the reproduction benches: canonical scenario
+// configurations (a consistent scaled-down world across all tables and
+// figures) and plain-text table/CDF printers. Each bench binary is
+// self-contained and regenerates one table or figure of the paper.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/ac.h"
+#include "sim/lanl.h"
+
+namespace eid::bench {
+
+/// Canonical LANL world for the benches (DNS flavor, ~1000 hosts —
+/// scaled from LANL's ~80k; see DESIGN.md §2).
+inline sim::LanlConfig lanl_config() {
+  sim::LanlConfig config;
+  config.seed = 7;
+  config.n_hosts = 1000;
+  config.n_servers = 12;
+  config.n_popular = 400;
+  config.tail_per_day = 300;
+  config.automated_tail_per_day = 10;
+  config.server_tail_per_day = 150;
+  return config;
+}
+
+/// Canonical AC world for the benches (proxy flavor, ~800 hosts — scaled
+/// from the enterprise's >100k).
+inline sim::AcConfig ac_config() {
+  sim::AcConfig config;
+  config.seed = 11;
+  config.n_hosts = 800;
+  config.n_popular = 400;
+  config.tail_per_day = 250;
+  config.automated_tail_per_day = 10;
+  config.grayware_per_day = 4;
+  config.campaigns_per_week = 6.0;
+  return config;
+}
+
+inline void print_header(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_note(const std::string& note) {
+  std::printf("note: %s\n", note.c_str());
+}
+
+/// Empirical CDF evaluated at the given x grid, printed one row per point.
+inline void print_cdf(const std::string& label, std::vector<double> values,
+                      const std::vector<double>& grid) {
+  std::sort(values.begin(), values.end());
+  std::printf("%s (n=%zu)\n", label.c_str(), values.size());
+  for (const double x : grid) {
+    const auto it = std::upper_bound(values.begin(), values.end(), x);
+    const double frac =
+        values.empty()
+            ? 0.0
+            : static_cast<double>(it - values.begin()) / static_cast<double>(values.size());
+    std::printf("  x=%10.2f  F(x)=%.4f\n", x, frac);
+  }
+}
+
+/// Fraction of values <= x.
+inline double cdf_at(std::vector<double> values, double x) {
+  std::size_t count = 0;
+  for (const double v : values) {
+    if (v <= x) ++count;
+  }
+  return values.empty() ? 0.0
+                        : static_cast<double>(count) / static_cast<double>(values.size());
+}
+
+}  // namespace eid::bench

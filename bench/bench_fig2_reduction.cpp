@@ -1,0 +1,37 @@
+// Reproduces Fig. 2: the number of distinct domains encountered daily in
+// the LANL world after each data-reduction step, for the first week of
+// March — All (A records), after filtering internal queries, after
+// filtering internal servers, new destinations, rare destinations.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/lanl_runner.h"
+
+int main() {
+  using namespace eid;
+  bench::print_header("Fig. 2", "Domains per day after each reduction step (LANL)");
+
+  sim::LanlScenario scenario(bench::lanl_config());
+  eval::LanlRunner runner(scenario);
+  runner.bootstrap();
+
+  std::printf("%-12s %10s %10s %10s %10s %10s\n", "Day", "All",
+              "-internal", "-servers", "New", "Rare");
+  for (util::Day day = scenario.challenge_begin();
+       day <= scenario.challenge_begin() + 6; ++day) {
+    logs::DnsReductionStats stats;
+    const auto events = scenario.simulator().reduced_day(day, &stats, nullptr);
+    const core::DayAnalysis analysis = runner.analyze_events(events, day);
+    std::printf("%-12s %10zu %10zu %10zu %10zu %10zu\n",
+                util::format_day(day).c_str(), stats.domains_all,
+                stats.domains_after_internal_filter,
+                stats.domains_after_server_filter, analysis.new_domains,
+                analysis.rare.size());
+    runner.update_history_events(events);
+  }
+  bench::print_note(
+      "paper (Fig. 2): ~400k domains/day reduce to ~31.5k rare destinations "
+      "(hosts: ~80k -> ~3.4k). Expect the same monotone staircase: each "
+      "filter strictly shrinks the set, with the new/rare cut the largest.");
+  return 0;
+}

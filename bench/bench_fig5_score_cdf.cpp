@@ -1,0 +1,81 @@
+// Reproduces Fig. 5 and the §VI-A regression diagnostics: CDFs of the C&C
+// scores of automated domains, split into VirusTotal-"reported" vs
+// "legitimate", plus the fitted feature weights/significance and the
+// TDR/FPR tradeoff at the paper's 0.4 threshold.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/ac_runner.h"
+
+int main() {
+  using namespace eid;
+  bench::print_header("Fig. 5 + §VI-A",
+                      "C&C score CDFs (reported vs legitimate) and regression");
+
+  sim::AcScenario scenario(bench::ac_config());
+  eval::AcRunner runner(scenario);
+  const core::TrainingReport training = runner.train();
+
+  std::printf("C&C regression: %zu automated-domain rows, %zu reported\n",
+              training.cc_rows, training.cc_positive);
+  std::printf("%-12s %10s %10s %6s\n", "feature", "weight", "stderr", "|t|");
+  for (std::size_t i = 0; i < features::kCcFeatureCount; ++i) {
+    std::printf("%-12s %10.4f %10.4f %6.2f %s\n", features::kCcFeatureNames[i],
+                training.cc_model.weights.size() > i ? training.cc_model.weights[i]
+                                                     : 0.0,
+                training.cc_model.std_errors.size() > i
+                    ? training.cc_model.std_errors[i]
+                    : 0.0,
+                training.cc_model.t_stats.size() > i
+                    ? std::abs(training.cc_model.t_stats[i])
+                    : 0.0,
+                training.cc_model.is_significant(i) ? "" : "(low significance)");
+  }
+  std::printf("R^2 = %.3f\n\n", training.cc_model.r_squared);
+
+  // Training CDFs (the Fig. 5 series).
+  std::vector<double> reported;
+  std::vector<double> legitimate;
+  for (const auto& [score, is_reported] : training.cc_training_scores) {
+    (is_reported ? reported : legitimate).push_back(score);
+  }
+  const std::vector<double> grid = {0.0, 0.1, 0.2, 0.3, 0.4,
+                                    0.5, 0.6, 0.7, 0.8, 1.0};
+  bench::print_cdf("training: reported automated domains", reported, grid);
+  bench::print_cdf("training: legitimate automated domains", legitimate, grid);
+
+  // Testing = the operation month's automated domains, labeled by the
+  // oracle (the paper splits February in half; we train on January).
+  std::vector<double> test_reported;
+  std::vector<double> test_legit;
+  runner.run_operation([&](util::Day, const core::DayAnalysis& analysis) {
+    for (const auto& scored : runner.pipeline().score_automated(analysis)) {
+      (scenario.oracle().vt_reported(scored.name) ? test_reported : test_legit)
+          .push_back(scored.score);
+    }
+  });
+  bench::print_cdf("testing: reported automated domains", test_reported, grid);
+  bench::print_cdf("testing: legitimate automated domains", test_legit, grid);
+
+  const auto rates = [](const std::vector<double>& rep,
+                        const std::vector<double>& legit, double threshold) {
+    const double tdr = 1.0 - bench::cdf_at(rep, threshold);
+    const double fpr = 1.0 - bench::cdf_at(legit, threshold);
+    std::printf("  threshold %.2f: TDR=%.2f%% FPR=%.2f%%\n", threshold,
+                100.0 * tdr, 100.0 * fpr);
+  };
+  std::printf("\ntraining tradeoff:\n");
+  rates(reported, legitimate, 0.4);
+  std::printf("testing tradeoff:\n");
+  rates(test_reported, test_legit, 0.4);
+
+  bench::print_note(
+      "paper: reported domains score higher than legitimate (Fig. 5); "
+      "threshold 0.4 gives 57.18%/10.59% TDR/FPR on training and "
+      "54.95%/11.52% on testing; AutoHosts had low significance and DomAge "
+      "was the only negatively-correlated feature; DomAge and RareUA most "
+      "relevant. Expect the reported CDF to dominate and the same sign "
+      "structure.");
+  return 0;
+}

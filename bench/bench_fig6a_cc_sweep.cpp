@@ -1,0 +1,50 @@
+// Reproduces Fig. 6(a): domains detected as C&C over the operation month
+// as the score threshold sweeps 0.40..0.48, stacked by validation category
+// (VirusTotal/SOC-known, new malicious, suspicious, legitimate), plus TDR.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+#include "eval/ac_runner.h"
+
+int main() {
+  using namespace eid;
+  bench::print_header("Fig. 6(a)", "C&C detections vs score threshold (AC)");
+
+  sim::AcScenario scenario(bench::ac_config());
+  eval::AcRunner runner(scenario);
+  runner.train();
+
+  // One operation pass: per-domain maximum score across the month.
+  std::map<std::string, double> best_score;
+  runner.run_operation([&](util::Day, const core::DayAnalysis& analysis) {
+    for (const auto& scored : runner.pipeline().score_automated(analysis)) {
+      auto [it, inserted] = best_score.emplace(scored.name, scored.score);
+      if (!inserted && scored.score > it->second) it->second = scored.score;
+    }
+  });
+  std::printf("distinct automated rare domains in the month: %zu\n\n",
+              best_score.size());
+
+  std::printf("%-10s %8s | %10s %8s %10s %6s | %7s %7s\n", "threshold",
+              "detected", "VT+SOC", "new mal", "suspicious", "legit", "TDR%",
+              "NDR%");
+  for (const double tc : {0.40, 0.42, 0.44, 0.45, 0.46, 0.48}) {
+    std::vector<std::string> detected;
+    for (const auto& [name, score] : best_score) {
+      if (score >= tc) detected.push_back(name);
+    }
+    const eval::ValidationCounts counts =
+        eval::validate_detections(detected, scenario.oracle());
+    std::printf("%-10.2f %8zu | %10zu %8zu %10zu %6zu | %7.2f %7.2f\n", tc,
+                counts.total(), counts.known_malicious, counts.new_malicious,
+                counts.suspicious, counts.legitimate, 100.0 * counts.tdr(),
+                100.0 * counts.ndr());
+  }
+  bench::print_note(
+      "paper (Fig. 6a): 114 domains at threshold 0.40 dropping to 19 at "
+      "0.48 while TDR rises 85.08% -> 94.7%, including 23 new discoveries "
+      "at 0.40. Expect the same shape: detections monotonically decreasing, "
+      "TDR increasing, a nonzero band of new-malicious + suspicious.");
+  return 0;
+}

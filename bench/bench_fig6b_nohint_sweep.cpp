@@ -1,0 +1,57 @@
+// Reproduces Fig. 6(b): domains detected by belief propagation in no-hint
+// mode over the operation month (C&C threshold fixed at 0.4) as the
+// similarity threshold Ts sweeps 0.33..0.85, stacked by validation
+// category.
+#include <cstdio>
+#include <map>
+#include <unordered_set>
+
+#include "bench_common.h"
+#include "eval/ac_runner.h"
+
+int main() {
+  using namespace eid;
+  bench::print_header("Fig. 6(b)", "No-hint belief propagation vs Ts (AC)");
+
+  sim::AcScenario scenario(bench::ac_config());
+  eval::AcRunner runner(scenario);
+  runner.train();
+
+  const std::vector<double> thresholds = {0.33, 0.5, 0.65, 0.75, 0.85};
+  std::map<double, std::unordered_set<std::string>> detected;
+  std::unordered_set<std::string> hosts;
+
+  runner.run_operation([&](util::Day, const core::DayAnalysis& analysis) {
+    const auto cc = runner.pipeline().detect_cc(analysis, 0.4);
+    for (const double ts : thresholds) {
+      const core::BpRunReport report =
+          runner.pipeline().run_bp_nohint(analysis, cc, ts);
+      auto& bucket = detected[ts];
+      for (const auto& det : cc) bucket.insert(det.name);
+      for (const auto& det : report.domains) bucket.insert(det.name);
+      if (ts == thresholds.front()) {
+        for (const auto& host : report.hosts) hosts.insert(host);
+      }
+    }
+  });
+
+  std::printf("%-10s %8s | %10s %8s %10s %6s | %7s %7s\n", "Ts", "detected",
+              "VT+SOC", "new mal", "suspicious", "legit", "TDR%", "NDR%");
+  for (const double ts : thresholds) {
+    const std::vector<std::string> names(detected[ts].begin(), detected[ts].end());
+    const eval::ValidationCounts counts =
+        eval::validate_detections(names, scenario.oracle());
+    std::printf("%-10.2f %8zu | %10zu %8zu %10zu %6zu | %7.2f %7.2f\n", ts,
+                counts.total(), counts.known_malicious, counts.new_malicious,
+                counts.suspicious, counts.legitimate, 100.0 * counts.tdr(),
+                100.0 * counts.ndr());
+  }
+  std::printf("\ncompromised hosts associated at Ts=%.2f: %zu\n",
+              thresholds.front(), hosts.size());
+  bench::print_note(
+      "paper (Fig. 6b): 265 -> 114 detected domains as Ts goes 0.33 -> 0.85 "
+      "with TDR 76.2% -> 85.1%; 202 malicious+suspicious domains and 945 "
+      "hosts in February at Ts=0.33, NDR 26.4%. Expect decreasing volume "
+      "and increasing TDR with a sizeable new-discovery share.");
+  return 0;
+}

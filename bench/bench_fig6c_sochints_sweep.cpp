@@ -1,0 +1,75 @@
+// Reproduces Fig. 6(c): domains detected by belief propagation in SOC-hints
+// mode (seeded with the IOC list) as the similarity threshold sweeps
+// 0.33..0.45, stacked by validation category. Seed domains are not counted
+// as detections. Also reports the overlap with the no-hint mode at the
+// default thresholds (§VI-D compares 21 shared domains out of 202 + 108).
+#include <cstdio>
+#include <map>
+#include <unordered_set>
+
+#include "bench_common.h"
+#include "eval/ac_runner.h"
+
+int main() {
+  using namespace eid;
+  bench::print_header("Fig. 6(c)", "SOC-hints belief propagation vs Ts (AC)");
+
+  sim::AcScenario scenario(bench::ac_config());
+  eval::AcRunner runner(scenario);
+  runner.train();
+
+  core::SocSeeds seeds;
+  seeds.domains = scenario.ioc_seeds();
+  const std::unordered_set<std::string> seed_set(seeds.domains.begin(),
+                                                 seeds.domains.end());
+  std::printf("IOC seed domains: %zu (paper used 28)\n\n", seeds.domains.size());
+
+  const std::vector<double> thresholds = {0.33, 0.37, 0.40, 0.41, 0.45};
+  std::map<double, std::unordered_set<std::string>> detected;
+  std::unordered_set<std::string> nohint_detected;
+
+  runner.run_operation([&](util::Day, const core::DayAnalysis& analysis) {
+    for (const double ts : thresholds) {
+      const core::BpRunReport report =
+          runner.pipeline().run_bp_sochints(analysis, seeds, ts);
+      auto& bucket = detected[ts];
+      for (const auto& det : report.domains) {
+        if (!seed_set.contains(det.name)) bucket.insert(det.name);
+      }
+    }
+    // No-hint run at default thresholds, for the §VI-D overlap figure.
+    const auto cc = runner.pipeline().detect_cc(analysis, 0.4);
+    const core::BpRunReport nohint =
+        runner.pipeline().run_bp_nohint(analysis, cc, 0.33);
+    for (const auto& det : cc) nohint_detected.insert(det.name);
+    for (const auto& det : nohint.domains) nohint_detected.insert(det.name);
+  });
+
+  std::printf("%-10s %8s | %10s %8s %10s %6s | %7s %7s\n", "Ts", "detected",
+              "VT+SOC", "new mal", "suspicious", "legit", "TDR%", "NDR%");
+  for (const double ts : thresholds) {
+    const std::vector<std::string> names(detected[ts].begin(), detected[ts].end());
+    const eval::ValidationCounts counts =
+        eval::validate_detections(names, scenario.oracle());
+    std::printf("%-10.2f %8zu | %10zu %8zu %10zu %6zu | %7.2f %7.2f\n", ts,
+                counts.total(), counts.known_malicious, counts.new_malicious,
+                counts.suspicious, counts.legitimate, 100.0 * counts.tdr(),
+                100.0 * counts.ndr());
+  }
+
+  std::size_t overlap = 0;
+  for (const auto& name : detected[thresholds.front()]) {
+    if (nohint_detected.contains(name)) ++overlap;
+  }
+  std::printf("\noverlap with no-hint mode at default thresholds: %zu of %zu "
+              "(no-hint found %zu)\n",
+              overlap, detected[thresholds.front()].size(),
+              nohint_detected.size());
+  bench::print_note(
+      "paper (Fig. 6c): 137 -> 73 detected domains as Ts goes 0.33 -> 0.45 "
+      "with TDR 78.8% -> 94.6%; 108 of 137 malicious/suspicious (~4x the 28 "
+      "seeds); only 21 domains overlap with no-hint mode, so the paper "
+      "recommends running both. Expect the same decreasing/overlap-poor "
+      "shape.");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces Fig. 7: an example community of compromised hosts and
+// malicious domains discovered in no-hint mode — a beaconing C&C domain
+// seeds belief propagation, which pulls in the delivery-stage domains and
+// the other hosts contacting them.
+#include <cstdio>
+#include <unordered_set>
+
+#include "bench_common.h"
+#include "eval/ac_runner.h"
+
+int main() {
+  using namespace eid;
+  bench::print_header("Fig. 7", "Example no-hint community (AC)");
+
+  sim::AcScenario scenario(bench::ac_config());
+  eval::AcRunner runner(scenario);
+  runner.train();
+
+  bool printed = false;
+  runner.run_operation([&](util::Day day, const core::DayAnalysis& analysis) {
+    if (printed) return;
+    const auto cc = runner.pipeline().detect_cc(analysis, 0.4);
+    if (cc.empty()) return;
+    const core::BpRunReport report =
+        runner.pipeline().run_bp_nohint(analysis, cc, 0.33);
+    if (report.domains.size() < 2) return;  // want a real community
+    printed = true;
+
+    std::printf("day %s\n\n", util::format_day(day).c_str());
+    std::printf("C&C seed domains (detected, score >= 0.4):\n");
+    for (const auto& det : cc) {
+      std::printf("  %-32s beacon ~%.0f s, %zu hosts, score %.2f  [%s]\n",
+                  det.name.c_str(), det.period, det.auto_hosts, det.score,
+                  eval::validation_category_name(eval::classify_detection(
+                      det.name, scenario.oracle())));
+    }
+    std::printf("\nbelief propagation expansion:\n");
+    for (const auto& det : report.domains) {
+      std::printf("  iter %zu: %-32s %-10s score %.2f  [%s]\n", det.iteration,
+                  det.name.c_str(), core::label_reason_name(det.reason),
+                  det.score,
+                  eval::validation_category_name(eval::classify_detection(
+                      det.name, scenario.oracle())));
+    }
+    std::printf("\ncompromised hosts in the community:\n");
+    for (const auto& host : report.hosts) {
+      std::printf("  %s\n", host.c_str());
+    }
+
+    // ASCII sketch of the bipartite community (hosts x domains edges).
+    std::printf("\nedges (host -- domain):\n");
+    std::unordered_set<std::string> community(report.hosts.begin(),
+                                              report.hosts.end());
+    std::vector<std::string> domains;
+    for (const auto& det : cc) domains.push_back(det.name);
+    for (const auto& det : report.domains) domains.push_back(det.name);
+    for (const auto& host : report.hosts) {
+      const graph::HostId h = analysis.graph.find_host(host);
+      for (const auto& domain : domains) {
+        const graph::DomainId d = analysis.graph.find_domain(domain);
+        if (h != graph::kNoId && d != graph::kNoId &&
+            analysis.graph.edge(h, d) != nullptr) {
+          std::printf("  %-24s -- %s\n", host.c_str(), domain.c_str());
+        }
+      }
+    }
+  });
+  if (!printed) std::printf("no multi-domain community found this month\n");
+  bench::print_note(
+      "paper (Fig. 7, 2/13): C&C usteeptyshehoaboochu.ru beaconing every "
+      "~120 s from three hosts seeds BP, which discovers two delivery "
+      "domains (parfumonline.in, neoparfumonline.in) and two more hosts. "
+      "Expect the same star-of-stars shape: C&C + related delivery domains "
+      "sharing hosts.");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces Fig. 8: an example community discovered in SOC-hints mode —
+// one IOC domain from the SOC database seeds belief propagation, which
+// uncovers sibling campaign domains (including ones no feed knows about)
+// and the other compromised hosts contacting them.
+#include <cstdio>
+#include <unordered_set>
+
+#include "bench_common.h"
+#include "eval/ac_runner.h"
+
+int main() {
+  using namespace eid;
+  bench::print_header("Fig. 8", "Example SOC-hints community (AC)");
+
+  sim::AcScenario scenario(bench::ac_config());
+  eval::AcRunner runner(scenario);
+  runner.train();
+
+  const auto iocs = scenario.ioc_seeds();
+  std::printf("SOC IOC list: %zu domains\n", iocs.size());
+  if (iocs.empty()) return 0;
+
+  bool printed = false;
+  runner.run_operation([&](util::Day day, const core::DayAnalysis& analysis) {
+    if (printed) return;
+    // Seed with a single IOC (the Fig. 8 story), whichever is live today.
+    for (const auto& ioc : iocs) {
+      if (analysis.graph.find_domain(ioc) == graph::kNoId) continue;
+      core::SocSeeds seeds;
+      seeds.domains = {ioc};
+      const core::BpRunReport report =
+          runner.pipeline().run_bp_sochints(analysis, seeds, 0.33);
+      if (report.domains.size() < 3) continue;
+      printed = true;
+
+      std::printf("\nday %s, seed IOC: %s (campaign %d)\n\n",
+                  util::format_day(day).c_str(), ioc.c_str(),
+                  scenario.simulator().truth().campaign_of(ioc));
+      std::printf("belief propagation expansion:\n");
+      std::size_t new_discoveries = 0;
+      for (const auto& det : report.domains) {
+        const auto category =
+            eval::classify_detection(det.name, scenario.oracle());
+        if (category == eval::ValidationCategory::NewMalicious) {
+          ++new_discoveries;
+        }
+        std::printf("  iter %zu: %-32s %-10s score %.2f  [%s]\n", det.iteration,
+                    det.name.c_str(), core::label_reason_name(det.reason),
+                    det.score, eval::validation_category_name(category));
+      }
+      std::printf("\ncompromised hosts in the community: %zu\n",
+                  report.hosts.size());
+      for (const auto& host : report.hosts) {
+        std::printf("  %s\n", host.c_str());
+      }
+      std::printf("\nnew discoveries (unknown to VT and SOC): %zu\n",
+                  new_discoveries);
+      break;
+    }
+  });
+  if (!printed) {
+    std::printf("no >=3-domain IOC-seeded community found this month\n");
+  }
+  bench::print_note(
+      "paper (Fig. 8, 2/10): seed xtremesoftnow.ru (Zeus C&C) leads to 7 "
+      ".org domains contacted by the same host — four SOC-confirmed, two "
+      "VT-only, one (uogwoigiuweyccsw.org) brand new — and a second BP "
+      "iteration finds six more hosts with the same malware. Expect a "
+      "community mixing known, VT-only and new domains across iterations.");
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Throughput benchmarks (google-benchmark) for the stages that must keep
+// up with terabyte-scale daily log volume (§II-C): domain folding, DNS and
+// proxy reduction, graph construction, periodicity testing, rare
+// extraction and belief propagation.
+#include <benchmark/benchmark.h>
+
+#include "core/belief_propagation.h"
+#include "core/scorers.h"
+#include "eval/lanl_runner.h"
+#include "logs/folding.h"
+#include "logs/reduction.h"
+#include "sim/enterprise.h"
+#include "timing/periodicity.h"
+
+namespace {
+
+using namespace eid;
+
+sim::SimConfig bench_config(sim::Flavor flavor) {
+  sim::SimConfig config;
+  config.flavor = flavor;
+  config.seed = 21;
+  config.day0 = util::make_day(2014, 1, 1);
+  config.n_hosts = 400;
+  config.n_popular = 200;
+  config.tail_per_day = 120;
+  config.automated_tail_per_day = 6;
+  config.grayware_per_day = 2;
+  return config;
+}
+
+void BM_FoldDomain(benchmark::State& state) {
+  const std::vector<std::string> names = {
+      "news.nbc.com", "deep.sub.example.org", "a.b.c.d.e.wide.net",
+      "www.bbc.co.uk", "short.io"};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(logs::fold_domain(names[i % names.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FoldDomain);
+
+void BM_DnsReduction(benchmark::State& state) {
+  sim::EnterpriseSimulator sim(bench_config(sim::Flavor::Dns), {});
+  const sim::DayLogs logs = sim.simulate_day(util::make_day(2014, 1, 2));
+  const logs::DnsReductionConfig config = sim.dns_reduction_config();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(logs::reduce_dns(logs.dns, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(logs.dns.size()));
+}
+BENCHMARK(BM_DnsReduction);
+
+void BM_ProxyReduction(benchmark::State& state) {
+  sim::EnterpriseSimulator sim(bench_config(sim::Flavor::Proxy), {});
+  const util::Day day = util::make_day(2014, 1, 2);
+  const sim::DayLogs logs = sim.simulate_day(day);
+  const logs::ProxyReductionConfig config = sim.proxy_reduction_config();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        logs::reduce_proxy(logs.proxy, sim.dhcp(), config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(logs.proxy.size()));
+}
+BENCHMARK(BM_ProxyReduction);
+
+void BM_DayGraphBuild(benchmark::State& state) {
+  sim::EnterpriseSimulator sim(bench_config(sim::Flavor::Proxy), {});
+  const auto events = sim.reduced_day(util::make_day(2014, 1, 2));
+  for (auto _ : state) {
+    graph::DayGraph graph;
+    for (const auto& event : events) graph.add_event(event);
+    graph.finalize();
+    benchmark::DoNotOptimize(graph.edge_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_DayGraphBuild);
+
+void BM_PeriodicityTest(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<util::TimePoint> times;
+  util::Rng rng(3);
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    times.push_back(static_cast<util::TimePoint>(t));
+    t += 600.0 + rng.normal(0.0, 3.0);
+  }
+  const timing::PeriodicityDetector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.test(times));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PeriodicityTest)->Arg(16)->Arg(144)->Arg(1024);
+
+void BM_LanlDayAnalysis(benchmark::State& state) {
+  sim::LanlConfig config;
+  config.n_hosts = 300;
+  config.n_popular = 150;
+  config.tail_per_day = 80;
+  config.automated_tail_per_day = 4;
+  config.server_tail_per_day = 40;
+  sim::LanlScenario scenario(config);
+  eval::LanlRunner runner(scenario);
+  runner.bootstrap();
+  const auto events =
+      scenario.simulator().reduced_day(scenario.challenge_begin());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        runner.analyze_events(events, scenario.challenge_begin()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_LanlDayAnalysis);
+
+void BM_BeliefPropagation(benchmark::State& state) {
+  // A synthetic frontier: one seed host fanning out to chains of domains.
+  graph::DayGraph graph;
+  const int chains = static_cast<int>(state.range(0));
+  for (int c = 0; c < chains; ++c) {
+    for (int depth = 0; depth < 6; ++depth) {
+      logs::ConnEvent ev;
+      ev.ts = c * 1000 + depth;
+      ev.host = "h" + std::to_string(c * 6 + depth);
+      ev.domain = "d" + std::to_string(c * 6 + depth) + ".com";
+      graph.add_event(ev);
+      logs::ConnEvent link = ev;
+      link.domain = "d" + std::to_string(c * 6 + depth + 1) + ".com";
+      graph.add_event(link);
+    }
+  }
+  graph.finalize();
+  std::unordered_set<graph::DomainId> rare;
+  for (graph::DomainId d = 0; d < graph.domain_count(); ++d) rare.insert(d);
+
+  class FixedScorer final : public core::DomainScorer {
+   public:
+    bool detect_cc(graph::DomainId) const override { return false; }
+    double similarity_score(graph::DomainId,
+                            std::span<const graph::DomainId>) const override {
+      return 0.9;
+    }
+  } scorer;
+
+  std::vector<graph::HostId> seeds = {graph.find_host("h0")};
+  core::BpConfig config;
+  config.max_iterations = 50;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::belief_propagation(graph, rare, seeds, {}, scorer, config));
+  }
+}
+BENCHMARK(BM_BeliefPropagation)->Arg(4)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

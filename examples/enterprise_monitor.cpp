@@ -1,0 +1,77 @@
+// Daily SOC monitor: the deployment the paper runs in §VI. Trains on one
+// month of proxy logs, then emits a daily triage report for the operation
+// month — potential C&C domains, the no-hint community expansion, and the
+// IOC-seeded expansion — ordered by suspiciousness for analyst review.
+//
+// Usage: enterprise_monitor [days=7] [tc=0.4] [ts=0.33]
+#include <cstdio>
+#include <cstdlib>
+
+#include "eval/ac_runner.h"
+
+int main(int argc, char** argv) {
+  using namespace eid;
+
+  const int days = argc > 1 ? std::atoi(argv[1]) : 7;
+  const double tc = argc > 2 ? std::atof(argv[2]) : 0.4;
+  const double ts = argc > 3 ? std::atof(argv[3]) : 0.33;
+
+  sim::AcConfig world;
+  world.n_hosts = 400;
+  world.n_popular = 200;
+  world.tail_per_day = 120;
+  world.automated_tail_per_day = 6;
+  world.grayware_per_day = 2;
+  world.campaigns_per_week = 5.0;
+  sim::AcScenario scenario(world);
+
+  eval::AcRunner runner(scenario);
+  std::printf("training on January (profiling + regression)...\n");
+  const core::TrainingReport training = runner.train();
+  std::printf("C&C model: %zu rows, %zu reported, R^2=%.2f\n",
+              training.cc_rows, training.cc_positive,
+              training.cc_model.r_squared);
+
+  core::SocSeeds seeds;
+  seeds.domains = scenario.ioc_seeds();
+  std::printf("SOC IOC list: %zu domains\n", seeds.domains.size());
+
+  int remaining = days;
+  runner.run_operation([&](util::Day day, const core::DayAnalysis& analysis) {
+    if (remaining-- <= 0) return;
+    std::printf("\n================ %s ================\n",
+                util::format_day(day).c_str());
+    std::printf("hosts=%zu domains=%zu rare=%zu automated_pairs=%zu\n",
+                analysis.graph.host_count(), analysis.graph.domain_count(),
+                analysis.rare.size(), analysis.automation.pair_count());
+
+    auto& pipeline = runner.pipeline();
+    const auto cc = pipeline.detect_cc(analysis, tc);
+    std::printf("\n[1] potential C&C (Tc=%.2f): %zu domain(s)\n", tc, cc.size());
+    for (const auto& det : cc) {
+      std::printf("    %-30s score=%.2f period=%.0fs hosts=%zu\n",
+                  det.name.c_str(), det.score, det.period, det.auto_hosts);
+    }
+
+    const core::BpRunReport nohint = pipeline.run_bp_nohint(analysis, cc, ts);
+    std::printf("[2] no-hint expansion (Ts=%.2f): %zu more domain(s), "
+                "%zu host(s) implicated\n",
+                ts, nohint.domains.size(), nohint.hosts.size());
+    for (const auto& det : nohint.domains) {
+      std::printf("    %-30s iter=%zu via %s score=%.2f\n", det.name.c_str(),
+                  det.iteration, core::label_reason_name(det.reason), det.score);
+    }
+
+    const core::BpRunReport hinted = pipeline.run_bp_sochints(analysis, seeds, ts);
+    std::printf("[3] IOC-seeded expansion: %zu domain(s)\n",
+                hinted.domains.size());
+    for (const auto& det : hinted.domains) {
+      std::printf("    %-30s iter=%zu via %s score=%.2f\n", det.name.c_str(),
+                  det.iteration, core::label_reason_name(det.reason), det.score);
+    }
+  });
+  std::printf("\nmonitoring complete. (Ground truth lives in the scenario — "
+              "in production these reports go to the SOC for manual "
+              "investigation, §VI-B.)\n");
+  return 0;
+}

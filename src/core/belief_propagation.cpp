@@ -1,0 +1,147 @@
+#include "core/belief_propagation.h"
+
+#include <algorithm>
+
+namespace eid::core {
+namespace {
+
+/// Insertion-ordered set of ids: iteration order must be deterministic and
+/// reflect discovery order (the paper returns domains ordered by when they
+/// were labeled, i.e. by suspiciousness level).
+class OrderedIdSet {
+ public:
+  bool insert(util::InternId id) {
+    if (present_.contains(id)) return false;
+    present_.insert(id);
+    order_.push_back(id);
+    return true;
+  }
+  bool contains(util::InternId id) const { return present_.contains(id); }
+  const std::vector<util::InternId>& items() const { return order_; }
+  std::size_t size() const { return order_.size(); }
+
+ private:
+  std::unordered_set<util::InternId> present_;
+  std::vector<util::InternId> order_;
+};
+
+}  // namespace
+
+const char* label_reason_name(LabelReason reason) {
+  switch (reason) {
+    case LabelReason::Seed: return "seed";
+    case LabelReason::CandC: return "c&c";
+    case LabelReason::Similarity: return "similarity";
+  }
+  return "?";
+}
+
+BpResult belief_propagation(const graph::DayGraph& graph,
+                            const std::unordered_set<graph::DomainId>& rare,
+                            std::span<const graph::HostId> seed_hosts,
+                            std::span<const graph::DomainId> seed_domains,
+                            const DomainScorer& scorer, const BpConfig& config) {
+  BpResult result;
+  OrderedIdSet hosts;   // H
+  OrderedIdSet labeled; // M
+  OrderedIdSet frontier_r;  // R: rare domains contacted by hosts in H
+
+  const auto add_host = [&](graph::HostId host) -> bool {
+    if (!hosts.insert(host)) return false;
+    for (const graph::DomainId dom : graph.host_domains(host)) {
+      if (rare.contains(dom)) frontier_r.insert(dom);  // host_rdom expansion
+    }
+    return true;
+  };
+
+  for (const graph::DomainId dom : seed_domains) {
+    if (labeled.insert(dom)) {
+      BpEvent event;
+      event.iteration = 0;
+      event.domain = dom;
+      event.reason = LabelReason::Seed;
+      result.trace.push_back(event);
+    }
+  }
+  for (const graph::HostId host : seed_hosts) add_host(host);
+  // Seed domains also imply their contacting hosts are suspect (no-hint
+  // mode seeds BP with C&C domains plus the hosts contacting them).
+  for (const graph::DomainId dom : seed_domains) {
+    for (const graph::HostId host : graph.domain_hosts(dom)) add_host(host);
+  }
+
+  for (std::size_t iter = 1; iter <= config.max_iterations; ++iter) {
+    std::vector<graph::DomainId> newly_labeled;  // N
+    std::vector<BpEvent> events;
+
+    // Pass 1: C&C-like domains among R \ M.
+    for (const graph::DomainId dom : frontier_r.items()) {
+      if (labeled.contains(dom)) continue;
+      if (!scorer.detect_cc(dom)) continue;
+      newly_labeled.push_back(dom);
+      BpEvent event;
+      event.iteration = iter;
+      event.domain = dom;
+      event.reason = LabelReason::CandC;
+      events.push_back(event);
+    }
+
+    // Pass 2 (only when pass 1 found nothing): similarity labeling.
+    if (newly_labeled.empty()) {
+      double max_score = 0.0;
+      graph::DomainId max_dom = graph::kNoId;
+      for (const graph::DomainId dom : frontier_r.items()) {
+        if (labeled.contains(dom)) continue;
+        const double score = scorer.similarity_score(dom, labeled.items());
+        if (max_dom == graph::kNoId || score > max_score) {
+          max_score = score;
+          max_dom = dom;
+        }
+        if (config.label_all_above_threshold && score >= config.sim_threshold) {
+          newly_labeled.push_back(dom);
+          BpEvent event;
+          event.iteration = iter;
+          event.domain = dom;
+          event.reason = LabelReason::Similarity;
+          event.score = score;
+          events.push_back(event);
+        }
+      }
+      if (!config.label_all_above_threshold) {
+        if (max_dom != graph::kNoId && max_score >= config.sim_threshold) {
+          newly_labeled.push_back(max_dom);
+          BpEvent event;
+          event.iteration = iter;
+          event.domain = max_dom;
+          event.reason = LabelReason::Similarity;
+          event.score = max_score;
+          events.push_back(event);
+        } else if (max_dom != graph::kNoId) {
+          result.stopped_by_threshold = true;
+        }
+      } else if (newly_labeled.empty() && max_dom != graph::kNoId) {
+        result.stopped_by_threshold = true;
+      }
+    }
+
+    if (newly_labeled.empty()) break;
+    result.iterations = iter;
+
+    // M <- M ∪ N;  H <- H ∪ dom_host[N];  R <- R ∪ host_rdom[new hosts].
+    for (std::size_t i = 0; i < newly_labeled.size(); ++i) {
+      const graph::DomainId dom = newly_labeled[i];
+      labeled.insert(dom);
+      result.new_domains.push_back(dom);
+      for (const graph::HostId host : graph.domain_hosts(dom)) {
+        if (add_host(host)) events[i].new_hosts.push_back(host);
+      }
+    }
+    for (BpEvent& event : events) result.trace.push_back(std::move(event));
+  }
+
+  result.hosts = hosts.items();
+  result.domains = labeled.items();
+  return result;
+}
+
+}  // namespace eid::core

@@ -1,0 +1,36 @@
+// Pipeline configuration as a key=value file. The paper emphasizes that
+// thresholds are operator-facing knobs ("configurable ... according to the
+// SOC's processing capacity", §VI), so deployments keep them in a config
+// file next to the daily batch job:
+//
+//   # detection thresholds
+//   cc_threshold = 0.4
+//   sim_threshold = 0.33
+//   bin_width_seconds = 10
+//   jeffrey_threshold = 0.06
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace eid::core {
+
+struct ConfigParseResult {
+  PipelineConfig config;
+  std::vector<std::string> errors;        ///< malformed lines / bad values
+  std::vector<std::string> unknown_keys;  ///< tolerated but reported
+  bool ok() const { return errors.empty(); }
+};
+
+/// Parse from text. Lines: "key = value", '#' comments, blank lines ok.
+/// Unknown keys are collected, not fatal; malformed values are errors.
+/// Values must be in range (thresholds finite, counts >= 1).
+ConfigParseResult parse_pipeline_config(const std::string& text);
+
+/// Render a config as a parseable key=value document.
+std::string format_pipeline_config(const PipelineConfig& config);
+
+}  // namespace eid::core

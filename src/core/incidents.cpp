@@ -1,0 +1,104 @@
+#include "core/incidents.h"
+
+#include <algorithm>
+
+namespace eid::core {
+
+bool Incident::overlaps(std::span<const std::string> other_domains,
+                        std::span<const std::string> other_hosts) const {
+  for (const auto& domain : other_domains) {
+    if (domains.contains(domain)) return true;
+  }
+  for (const auto& host : other_hosts) {
+    if (hosts.contains(host)) return true;
+  }
+  return false;
+}
+
+void IncidentStore::merge_into(Incident& target, Incident& source) {
+  target.first_seen = std::min(target.first_seen, source.first_seen);
+  target.last_seen = std::max(target.last_seen, source.last_seen);
+  target.days_active += source.days_active;
+  target.domains.insert(source.domains.begin(), source.domains.end());
+  target.hosts.insert(source.hosts.begin(), source.hosts.end());
+}
+
+void IncidentStore::index(const Incident& incident) {
+  for (const auto& domain : incident.domains) domain_index_[domain] = incident.id;
+  for (const auto& host : incident.hosts) host_index_[host] = incident.id;
+}
+
+int IncidentStore::ingest_community(util::Day day,
+                                    std::span<const std::string> domains,
+                                    std::span<const std::string> hosts) {
+  if (domains.empty() && hosts.empty()) return -1;
+
+  // Collect every live incident this community touches.
+  std::set<int> touched;
+  for (const auto& domain : domains) {
+    auto it = domain_index_.find(domain);
+    if (it != domain_index_.end()) touched.insert(it->second);
+  }
+  for (const auto& host : hosts) {
+    auto it = host_index_.find(host);
+    if (it != host_index_.end()) touched.insert(it->second);
+  }
+
+  int target_id;
+  if (touched.empty()) {
+    target_id = next_id_++;
+    Incident incident;
+    incident.id = target_id;
+    incident.first_seen = day;
+    incident.last_seen = day;
+    storage_.push_back(std::move(incident));
+    live_.push_back(true);
+    ++live_count_;
+  } else {
+    target_id = *touched.begin();  // oldest id wins
+  }
+  Incident& target = storage_[static_cast<std::size_t>(target_id)];
+
+  // Merge any other touched incidents into the target.
+  for (const int other_id : touched) {
+    if (other_id == target_id) continue;
+    Incident& other = storage_[static_cast<std::size_t>(other_id)];
+    merge_into(target, other);
+    live_[static_cast<std::size_t>(other_id)] = false;
+    --live_count_;
+    other.domains.clear();
+    other.hosts.clear();
+  }
+
+  target.last_seen = std::max(target.last_seen, day);
+  target.first_seen = std::min(target.first_seen, day);
+  ++target.days_active;
+  target.domains.insert(domains.begin(), domains.end());
+  target.hosts.insert(hosts.begin(), hosts.end());
+  index(target);
+  return target_id;
+}
+
+std::vector<Incident> IncidentStore::incidents() const {
+  std::vector<Incident> out;
+  for (std::size_t i = 0; i < storage_.size(); ++i) {
+    if (live_[i]) out.push_back(storage_[i]);
+  }
+  return out;
+}
+
+std::vector<Incident> IncidentStore::active_since(util::Day since) const {
+  std::vector<Incident> out;
+  for (std::size_t i = 0; i < storage_.size(); ++i) {
+    if (live_[i] && storage_[i].last_seen >= since) out.push_back(storage_[i]);
+  }
+  return out;
+}
+
+const Incident* IncidentStore::find(int id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= storage_.size()) return nullptr;
+  if (!live_[static_cast<std::size_t>(id)]) return nullptr;
+  return &storage_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace eid::core

@@ -1,0 +1,69 @@
+// Cross-day incident aggregation.
+//
+// The paper's system emits per-day detections and leaves "monitoring
+// activity to these suspicious domains over longer periods of time" as
+// future work (§VIII). This store implements that follow-up: each day's
+// detected community (domains + implicated hosts) is merged into ongoing
+// *incidents*, where two communities belong to the same incident when they
+// share any domain or any host — the same locality signals belief
+// propagation exploits within a day, applied across days. The result is
+// the campaign-level view a SOC tracks tickets by.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/time.h"
+
+namespace eid::core {
+
+/// One ongoing incident (campaign-level aggregate).
+struct Incident {
+  int id = 0;
+  util::Day first_seen = 0;
+  util::Day last_seen = 0;
+  std::size_t days_active = 0;          ///< days on which it grew or recurred
+  std::set<std::string> domains;        ///< all detected domains so far
+  std::set<std::string> hosts;          ///< all implicated hosts so far
+
+  bool overlaps(std::span<const std::string> other_domains,
+                std::span<const std::string> other_hosts) const;
+};
+
+class IncidentStore {
+ public:
+  /// Merge one detected community into the store. Communities that share a
+  /// domain or host with one or more existing incidents are merged into
+  /// them (and those incidents into each other); otherwise a new incident
+  /// opens. Returns the id of the (possibly merged) incident, or -1 for an
+  /// empty community.
+  int ingest_community(util::Day day, std::span<const std::string> domains,
+                       std::span<const std::string> hosts);
+
+  /// All incidents, oldest first. Merged incidents keep the older id.
+  std::vector<Incident> incidents() const;
+
+  /// Incidents seen on or after `since`.
+  std::vector<Incident> active_since(util::Day since) const;
+
+  const Incident* find(int id) const;
+
+  std::size_t size() const { return live_count_; }
+
+ private:
+  void merge_into(Incident& target, Incident& source);
+  void index(const Incident& incident);
+
+  std::vector<Incident> storage_;            ///< slot per ever-created incident
+  std::vector<bool> live_;                   ///< slot still a real incident?
+  std::unordered_map<std::string, int> domain_index_;
+  std::unordered_map<std::string, int> host_index_;
+  std::size_t live_count_ = 0;
+  int next_id_ = 0;
+};
+
+}  // namespace eid::core

@@ -1,0 +1,151 @@
+#include "core/model_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace eid::core {
+namespace {
+
+constexpr std::string_view kMagic = "eid-scored-model 1";
+
+std::string hexf(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%a", value);
+  return buf;
+}
+
+bool parse_double_field(std::string_view text, double& out) {
+  // Hex-floats via strtod (from_chars hex support is inconsistent).
+  const std::string owned(text);
+  char* end = nullptr;
+  out = std::strtod(owned.c_str(), &end);
+  return end == owned.c_str() + owned.size() && !owned.empty();
+}
+
+bool parse_doubles(std::span<const std::string_view> fields,
+                   std::vector<double>& out) {
+  out.clear();
+  out.reserve(fields.size());
+  for (const auto field : fields) {
+    double value = 0.0;
+    if (!parse_double_field(field, value)) return false;
+    out.push_back(value);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string format_scored_model(const ScoredModel& model) {
+  std::ostringstream out;
+  out << kMagic << '\n';
+  out << "threshold " << hexf(model.threshold) << '\n';
+  out << "score " << hexf(model.score_offset) << ' ' << hexf(model.score_scale)
+      << '\n';
+  out << "model " << hexf(model.model.intercept) << ' '
+      << hexf(model.model.r_squared) << ' ' << hexf(model.model.residual_variance)
+      << ' ' << model.model.n_samples << '\n';
+  const auto row = [&out](const char* key, const std::vector<double>& values) {
+    out << key;
+    for (const double v : values) out << ' ' << hexf(v);
+    out << '\n';
+  };
+  row("weights", model.model.weights);
+  row("stderrs", model.model.std_errors);
+  row("tstats", model.model.t_stats);
+  out << "scaler";
+  for (std::size_t i = 0; i < model.scaler.n_features(); ++i) {
+    out << ' ' << hexf(model.scaler.mins()[i]) << ' ' << hexf(model.scaler.maxs()[i]);
+  }
+  out << '\n';
+  return out.str();
+}
+
+std::optional<ScoredModel> parse_scored_model(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) return std::nullopt;
+  ScoredModel model;
+  bool saw_threshold = false;
+  bool saw_weights = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = util::split(line, ' ');
+    const std::string_view key = fields[0];
+    const std::span<const std::string_view> rest(fields.data() + 1,
+                                                 fields.size() - 1);
+    if (key == "threshold") {
+      if (rest.size() != 1 || !parse_double_field(rest[0], model.threshold)) {
+        return std::nullopt;
+      }
+      saw_threshold = true;
+    } else if (key == "score") {
+      if (rest.size() != 2 || !parse_double_field(rest[0], model.score_offset) ||
+          !parse_double_field(rest[1], model.score_scale) ||
+          model.score_scale == 0.0) {
+        return std::nullopt;
+      }
+    } else if (key == "model") {
+      if (rest.size() != 4 || !parse_double_field(rest[0], model.model.intercept) ||
+          !parse_double_field(rest[1], model.model.r_squared) ||
+          !parse_double_field(rest[2], model.model.residual_variance)) {
+        return std::nullopt;
+      }
+      std::uint64_t n = 0;
+      if (std::sscanf(std::string(rest[3]).c_str(), "%" PRIu64, &n) != 1) {
+        return std::nullopt;
+      }
+      model.model.n_samples = n;
+    } else if (key == "weights") {
+      if (!parse_doubles(rest, model.model.weights)) return std::nullopt;
+      saw_weights = true;
+    } else if (key == "stderrs") {
+      if (!parse_doubles(rest, model.model.std_errors)) return std::nullopt;
+    } else if (key == "tstats") {
+      if (!parse_doubles(rest, model.model.t_stats)) return std::nullopt;
+    } else if (key == "scaler") {
+      if (rest.size() % 2 != 0) return std::nullopt;
+      std::vector<double> mins;
+      std::vector<double> maxs;
+      for (std::size_t i = 0; i < rest.size(); i += 2) {
+        double lo = 0.0;
+        double hi = 0.0;
+        if (!parse_double_field(rest[i], lo) || !parse_double_field(rest[i + 1], hi)) {
+          return std::nullopt;
+        }
+        mins.push_back(lo);
+        maxs.push_back(hi);
+      }
+      model.scaler.restore(std::move(mins), std::move(maxs));
+    } else {
+      return std::nullopt;  // unknown section: likely corrupt
+    }
+  }
+  if (!saw_threshold || !saw_weights) return std::nullopt;
+  // Consistency: scaler must cover the weights.
+  if (model.scaler.n_features() != model.model.weights.size()) return std::nullopt;
+  return model;
+}
+
+bool save_scored_model(const ScoredModel& model,
+                       const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << format_scored_model(model);
+  return static_cast<bool>(out);
+}
+
+std::optional<ScoredModel> load_scored_model(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return parse_scored_model(buffer.str());
+}
+
+}  // namespace eid::core

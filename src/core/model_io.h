@@ -1,0 +1,36 @@
+// Persistence for trained scoring models. Training happens once per month
+// (§III-E) while operation is daily, so deployments persist the fitted
+// regression + scaler + normalization between processes, like the profile
+// histories. Format (line-oriented, locale-independent via hex-float):
+//
+//   eid-scored-model 1
+//   threshold <t>
+//   score <offset> <scale>
+//   model <intercept> <r2> <residual_variance> <n_samples>
+//   weights <w0> <w1> ...
+//   stderrs <s0> ... (optional diagnostics)
+//   tstats <t0> ...
+//   scaler <min0> <max0> <min1> <max1> ...
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "core/scorers.h"
+
+namespace eid::core {
+
+/// Render a model to its textual form (exact round-trip: doubles are
+/// written as hex-floats).
+std::string format_scored_model(const ScoredModel& model);
+
+/// Parse; nullopt on bad magic or malformed/inconsistent content.
+std::optional<ScoredModel> parse_scored_model(const std::string& text);
+
+/// File convenience wrappers.
+bool save_scored_model(const ScoredModel& model,
+                       const std::filesystem::path& path);
+std::optional<ScoredModel> load_scored_model(const std::filesystem::path& path);
+
+}  // namespace eid::core

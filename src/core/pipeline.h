@@ -1,0 +1,205 @@
+// End-to-end system of Fig. 1 for the enterprise (web proxy) deployment.
+//
+// Training (one month):
+//   (1) normalization/reduction happens upstream (logs::reduce_*);
+//   (2) profiling: domain + UA histories;
+//   (3) C&C detector customization: regression over labeled automated rare
+//       domains (labels from an intelligence feed such as VirusTotal);
+//   (4) domain-similarity customization: regression over rare non-automated
+//       domains contacted by hosts of confirmed C&C domains.
+//
+// Operation (daily):
+//   (1) reduction; (2) profile comparison/update (rare destinations, rare
+//   UAs); (3) C&C detector; (4) belief propagation in both modes.
+//
+// analyze_day() is separated from run_day() so benchmarks can sweep
+// thresholds over one day's analysis without recomputing it, and so
+// history updates stay explicit.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/scorers.h"
+#include "profile/domain_history.h"
+#include "profile/top_sites.h"
+#include "profile/ua_history.h"
+
+namespace eid::core {
+
+struct PipelineConfig {
+  std::size_t popularity_threshold = 10;  ///< rare-destination host cap
+  std::size_t ua_rare_threshold = 10;     ///< rare-UA host cap
+  timing::PeriodicityDetector::Params periodicity{};  ///< W = 10 s, JT = 0.06
+  double cc_threshold = 0.4;   ///< Tc (Fig. 6a sweeps 0.40..0.48)
+  double sim_threshold = 0.33; ///< Ts (Fig. 6b sweeps 0.33..0.85)
+  std::size_t bp_max_iterations = 10;
+  /// Worker threads for the per-edge automation scan (1 = sequential;
+  /// results are identical for any value).
+  std::size_t analysis_threads = 1;
+};
+
+/// Everything computed about one day before any thresholding.
+struct DayAnalysis {
+  util::Day day = 0;
+  graph::DayGraph graph;
+  std::unordered_set<graph::DomainId> rare;
+  features::AutomationAnalysis automation;
+  features::WhoisDefaults whois_defaults;
+  std::size_t event_count = 0;
+  std::size_t new_domains = 0;    ///< new regardless of popularity
+  std::size_t total_domains = 0;
+};
+
+/// A detected domain with its provenance, reported by name so results
+/// survive the per-day interning.
+struct DetectedDomain {
+  std::string name;
+  double score = 0.0;
+  LabelReason reason = LabelReason::Similarity;
+  std::size_t iteration = 0;
+};
+
+struct BpRunReport {
+  std::vector<DetectedDomain> domains;  ///< newly labeled (seeds excluded)
+  std::vector<std::string> hosts;       ///< expanded compromised set
+  std::size_t iterations = 0;
+};
+
+/// Score assigned to one automated rare domain (Fig. 5 / Fig. 6a series).
+struct ScoredDomain {
+  std::string name;
+  double score = 0.0;
+  double period = 0.0;
+  std::size_t auto_hosts = 0;
+};
+
+struct DayReport {
+  util::Day day = 0;
+  std::size_t events = 0;
+  std::size_t hosts = 0;
+  std::size_t domains = 0;
+  std::size_t rare_domains = 0;
+  std::size_t automated_pairs = 0;
+  std::vector<ScoredDomain> automated_scores;  ///< all rare automated domains
+  std::vector<ScoredDomain> cc_domains;        ///< score >= Tc
+  BpRunReport nohint;
+  BpRunReport sochints;
+};
+
+/// SOC-provided seeds for the hints mode.
+struct SocSeeds {
+  std::vector<std::string> hosts;
+  std::vector<std::string> domains;
+};
+
+/// Intelligence label callback: true when the feed (VirusTotal in the
+/// paper) reports the domain malicious.
+using LabelFn = std::function<bool(const std::string& domain)>;
+
+/// Outcome of finalize_training(), for reporting regression diagnostics
+/// (§VI-A: coefficient signs and significance).
+struct TrainingReport {
+  ml::LinearModel cc_model;
+  ml::LinearModel sim_model;
+  std::size_t cc_rows = 0;
+  std::size_t cc_positive = 0;
+  std::size_t sim_rows = 0;
+  std::size_t sim_positive = 0;
+  /// (score, reported?) pairs over the C&C training rows — the Fig. 5 CDFs.
+  std::vector<std::pair<double, bool>> cc_training_scores;
+};
+
+class Pipeline {
+ public:
+  Pipeline(PipelineConfig config, const features::WhoisSource& whois);
+
+  // ---- Training ----
+
+  /// Stage 2 (bootstrap month): update histories only.
+  void profile_day(const std::vector<logs::ConnEvent>& events);
+
+  /// Stages 3-4: accumulate labeled regression rows for one day, then
+  /// update histories.
+  void train_day(const std::vector<logs::ConnEvent>& events, util::Day day,
+                 const LabelFn& intel);
+
+  /// Fit the C&C and similarity regressions from the accumulated rows.
+  TrainingReport finalize_training();
+
+  /// Install externally-fit models (tests, ablations, or models persisted
+  /// with core/model_io.h).
+  void set_models(ScoredModel cc, ScoredModel sim);
+
+  /// Install a global-popularity whitelist (§II-A): rare destinations on
+  /// the list are excluded from analysis. Pass nullptr to clear. The list
+  /// must outlive the pipeline.
+  void set_top_sites(const profile::TopSitesList* top_sites) {
+    top_sites_ = top_sites;
+  }
+
+  // ---- Operation ----
+
+  /// Steps 1-2 + feature analysis, no thresholding, no history update.
+  DayAnalysis analyze_day(const std::vector<logs::ConnEvent>& events,
+                          util::Day day) const;
+
+  /// All automated rare domains of the day with their scores, unthresholded
+  /// (the Fig. 5 / Fig. 6a series).
+  std::vector<ScoredDomain> score_automated(const DayAnalysis& analysis) const;
+
+  /// Step 3: C&C sweep at threshold Tc (config default when unset).
+  std::vector<ScoredDomain> detect_cc(
+      const DayAnalysis& analysis,
+      std::optional<double> tc = std::nullopt) const;
+
+  /// Step 4, no-hint mode: seed BP with the C&C detections.
+  BpRunReport run_bp_nohint(const DayAnalysis& analysis,
+                            const std::vector<ScoredDomain>& cc_domains,
+                            std::optional<double> ts = std::nullopt) const;
+
+  /// Step 4, SOC-hints mode.
+  BpRunReport run_bp_sochints(const DayAnalysis& analysis, const SocSeeds& seeds,
+                              std::optional<double> ts = std::nullopt) const;
+
+  /// End-of-day profile update (operation step 2, "histories are updated").
+  void update_histories(const std::vector<logs::ConnEvent>& events);
+
+  /// Convenience: analyze + detect + both BP modes + history update.
+  DayReport run_day(const std::vector<logs::ConnEvent>& events, util::Day day,
+                    const SocSeeds& seeds);
+
+  const PipelineConfig& config() const { return config_; }
+  const profile::DomainHistory& domain_history() const { return domain_history_; }
+  const profile::UaHistory& ua_history() const { return ua_history_; }
+  const ScoredModel& cc_model() const { return cc_model_; }
+  const ScoredModel& sim_model() const { return sim_model_; }
+
+ private:
+  DayState make_state(const DayAnalysis& analysis) const;
+  BpRunReport report_from(const graph::DayGraph& graph,
+                          const BpResult& result) const;
+
+  PipelineConfig config_;
+  const features::WhoisSource& whois_;
+  const profile::TopSitesList* top_sites_ = nullptr;
+  profile::DomainHistory domain_history_;
+  profile::UaHistory ua_history_;
+
+  // Accumulated training rows.
+  std::vector<std::array<double, features::kCcFeatureCount>> cc_rows_;
+  std::vector<double> cc_labels_;
+  std::vector<std::array<double, features::kSimFeatureCount>> sim_rows_;
+  std::vector<double> sim_labels_;
+  double whois_age_sum_ = 0.0;
+  double whois_validity_sum_ = 0.0;
+  std::size_t whois_samples_ = 0;
+
+  ScoredModel cc_model_;
+  ScoredModel sim_model_;
+  bool models_ready_ = false;
+};
+
+}  // namespace eid::core

@@ -1,0 +1,119 @@
+#include "core/report_json.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace eid::core {
+namespace {
+
+std::string number(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+void append_detected(std::ostringstream& out,
+                     const std::vector<DetectedDomain>& domains) {
+  out << "[";
+  for (std::size_t i = 0; i < domains.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "{\"domain\":\"" << json_escape(domains[i].name) << "\""
+        << ",\"score\":" << number(domains[i].score) << ",\"reason\":\""
+        << label_reason_name(domains[i].reason) << "\""
+        << ",\"iteration\":" << domains[i].iteration << "}";
+  }
+  out << "]";
+}
+
+void append_strings(std::ostringstream& out, const std::vector<std::string>& items) {
+  out << "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << json_escape(items[i]) << "\"";
+  }
+  out << "]";
+}
+
+void append_bp_run(std::ostringstream& out, const BpRunReport& run) {
+  out << "{\"iterations\":" << run.iterations << ",\"domains\":";
+  append_detected(out, run.domains);
+  out << ",\"hosts\":";
+  append_strings(out, run.hosts);
+  out << "}";
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string day_report_to_json(const DayReport& report) {
+  std::ostringstream out;
+  out << "{\"day\":\"" << util::format_day(report.day) << "\"";
+  out << ",\"stats\":{\"events\":" << report.events
+      << ",\"hosts\":" << report.hosts << ",\"domains\":" << report.domains
+      << ",\"rare_domains\":" << report.rare_domains
+      << ",\"automated_pairs\":" << report.automated_pairs << "}";
+  out << ",\"cc_domains\":[";
+  for (std::size_t i = 0; i < report.cc_domains.size(); ++i) {
+    const ScoredDomain& det = report.cc_domains[i];
+    if (i > 0) out << ",";
+    out << "{\"domain\":\"" << json_escape(det.name) << "\""
+        << ",\"score\":" << number(det.score)
+        << ",\"period_seconds\":" << number(det.period)
+        << ",\"auto_hosts\":" << det.auto_hosts << "}";
+  }
+  out << "],\"nohint\":";
+  append_bp_run(out, report.nohint);
+  out << ",\"sochints\":";
+  append_bp_run(out, report.sochints);
+  out << "}";
+  return out.str();
+}
+
+std::string incident_to_json(const Incident& incident) {
+  std::ostringstream out;
+  out << "{\"id\":" << incident.id << ",\"first_seen\":\""
+      << util::format_day(incident.first_seen) << "\",\"last_seen\":\""
+      << util::format_day(incident.last_seen)
+      << "\",\"days_active\":" << incident.days_active;
+  out << ",\"domains\":[";
+  bool first = true;
+  for (const auto& domain : incident.domains) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(domain) << "\"";
+  }
+  out << "],\"hosts\":[";
+  first = true;
+  for (const auto& host : incident.hosts) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(host) << "\"";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace eid::core

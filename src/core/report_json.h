@@ -1,0 +1,27 @@
+// JSON serialization of daily detection reports. The system's output is an
+// "ordered list of suspicious domains presented to SOC for further
+// investigation" (§III-E); SOC tooling (SIEM dashboards, ticketing)
+// consumes JSON, so DayReport and Incident render to a small, dependency-
+// free JSON document with full string escaping.
+#pragma once
+
+#include <string>
+
+#include "core/incidents.h"
+#include "core/pipeline.h"
+
+namespace eid::core {
+
+/// Escape a string for inclusion in a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string json_escape(const std::string& text);
+
+/// Render one day's report:
+/// {"day":"YYYY-MM-DD","stats":{...},"cc_domains":[...],
+///  "nohint":{"domains":[...],"hosts":[...]},"sochints":{...}}
+std::string day_report_to_json(const DayReport& report);
+
+/// Render one incident.
+std::string incident_to_json(const Incident& incident);
+
+}  // namespace eid::core

@@ -1,0 +1,128 @@
+#include "eval/lanl_runner.h"
+
+#include <algorithm>
+
+namespace eid::eval {
+
+LanlRunner::LanlRunner(sim::LanlScenario& scenario, LanlRunnerConfig config)
+    : scenario_(scenario), config_(config) {}
+
+void LanlRunner::bootstrap() {
+  for (util::Day day = scenario_.bootstrap_begin();
+       day <= scenario_.bootstrap_end(); ++day) {
+    update_history_events(scenario_.simulator().reduced_day(day));
+  }
+}
+
+void LanlRunner::update_history_events(
+    const std::vector<logs::ConnEvent>& events) {
+  std::unordered_set<std::string> domains;
+  for (const auto& event : events) domains.insert(event.domain);
+  history_.update({domains.begin(), domains.end()});
+}
+
+core::DayAnalysis LanlRunner::analyze_day(util::Day day) {
+  return analyze_events(scenario_.simulator().reduced_day(day), day);
+}
+
+core::DayAnalysis LanlRunner::analyze_events(
+    const std::vector<logs::ConnEvent>& events, util::Day day) const {
+  core::DayAnalysis analysis;
+  analysis.day = day;
+  analysis.event_count = events.size();
+  for (const auto& event : events) analysis.graph.add_event(event);
+  analysis.graph.finalize();
+  const profile::RareExtraction rare = profile::extract_rare_destinations(
+      analysis.graph, history_, config_.popularity_threshold);
+  analysis.rare.insert(rare.rare_domains.begin(), rare.rare_domains.end());
+  analysis.new_domains = rare.new_domains;
+  analysis.total_domains = rare.total_domains;
+  const timing::PeriodicityDetector detector(config_.periodicity);
+  analysis.automation = features::AutomationAnalysis::analyze(
+      analysis.graph, rare.rare_domains, detector);
+  return analysis;
+}
+
+LanlDayResult LanlRunner::run_case(const sim::LanlCase& challenge,
+                                   const core::DayAnalysis& analysis) const {
+  LanlDayResult result;
+  result.challenge = challenge;
+  result.rare_domains = analysis.rare.size();
+  result.automated_pairs = analysis.automation.pair_count();
+
+  const core::DayState state{analysis.graph,  analysis.rare,
+                             analysis.automation, ua_history_,
+                             scenario_.simulator().whois(), analysis.day,
+                             features::WhoisDefaults{}};
+  const core::LanlScorer scorer(state, config_.scorer);
+
+  std::vector<graph::HostId> seed_hosts;
+  for (const std::string& host : challenge.hint_hosts) {
+    const graph::HostId id = analysis.graph.find_host(host);
+    if (id != graph::kNoId) seed_hosts.push_back(id);
+  }
+
+  std::vector<graph::DomainId> seed_domains;
+  if (seed_hosts.empty()) {
+    // Case 4: no hints. Seed with the challenge C&C sweep — every rare
+    // automated domain with two hosts beaconing at matching periods.
+    for (const graph::DomainId domain : analysis.automation.automated_domains()) {
+      if (!analysis.rare.contains(domain)) continue;
+      if (scorer.detect_cc(domain)) seed_domains.push_back(domain);
+    }
+  }
+
+  core::BpConfig bp;
+  bp.sim_threshold = config_.sim_threshold;
+  bp.max_iterations = config_.max_iterations;
+  const core::BpResult bp_result = core::belief_propagation(
+      analysis.graph, analysis.rare, seed_hosts, seed_domains, scorer, bp);
+
+  result.trace = bp_result.trace;
+  // Case-4 seeds are themselves detections (nothing was given); in the
+  // hinted cases, hosts were given but domains were not, so every labeled
+  // domain counts as a detection either way.
+  for (const graph::DomainId domain : bp_result.domains) {
+    result.detected_domains.push_back(analysis.graph.domain_name(domain));
+  }
+  for (const graph::HostId host : bp_result.hosts) {
+    result.detected_hosts.push_back(analysis.graph.host_name(host));
+  }
+  result.counts =
+      score_detections(result.detected_domains, challenge.answer_domains);
+  return result;
+}
+
+void LanlRunner::finish_day(util::Day day) {
+  update_history_events(scenario_.simulator().reduced_day(day));
+}
+
+LanlChallengeResult LanlRunner::run_challenge() {
+  bootstrap();
+  LanlChallengeResult result;
+  for (util::Day day = scenario_.challenge_begin();
+       day <= scenario_.challenge_end(); ++day) {
+    const auto events = scenario_.simulator().reduced_day(day);
+    const auto it = std::find_if(
+        scenario_.cases().begin(), scenario_.cases().end(),
+        [day](const sim::LanlCase& c) { return c.day == day; });
+    if (it != scenario_.cases().end()) {
+      const core::DayAnalysis analysis = analyze_events(events, day);
+      LanlDayResult day_result = run_case(*it, analysis);
+      const int case_id = it->case_id;
+      if (it->training) {
+        result.per_case_training[case_id] += day_result.counts;
+        result.training_total += day_result.counts;
+      } else {
+        result.per_case_testing[case_id] += day_result.counts;
+        result.testing_total += day_result.counts;
+      }
+      result.total += day_result.counts;
+      result.days.push_back(std::move(day_result));
+    }
+    update_history_events(events);
+  }
+  return result;
+}
+
+}  // namespace eid::eval

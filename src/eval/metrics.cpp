@@ -1,0 +1,61 @@
+#include "eval/metrics.h"
+
+#include <unordered_set>
+
+namespace eid::eval {
+
+DetectionCounts score_detections(const std::vector<std::string>& detected,
+                                 const std::vector<std::string>& answers) {
+  DetectionCounts counts;
+  const std::unordered_set<std::string> answer_set(answers.begin(), answers.end());
+  std::unordered_set<std::string> found;
+  for (const std::string& domain : detected) {
+    if (answer_set.contains(domain)) {
+      found.insert(domain);
+    } else {
+      ++counts.fp;
+    }
+  }
+  counts.tp = found.size();
+  counts.fn = answer_set.size() - found.size();
+  return counts;
+}
+
+const char* validation_category_name(ValidationCategory category) {
+  switch (category) {
+    case ValidationCategory::KnownMalicious: return "VirusTotal and SOC";
+    case ValidationCategory::NewMalicious: return "New malicious";
+    case ValidationCategory::Suspicious: return "Suspicious";
+    case ValidationCategory::Legitimate: return "Legitimate";
+  }
+  return "?";
+}
+
+ValidationCategory classify_detection(const std::string& domain,
+                                      const sim::IntelOracle& oracle) {
+  if (oracle.vt_reported(domain) || oracle.soc_ioc(domain)) {
+    return ValidationCategory::KnownMalicious;
+  }
+  switch (oracle.truth().label(domain)) {
+    case sim::TruthLabel::Malicious: return ValidationCategory::NewMalicious;
+    case sim::TruthLabel::Grayware: return ValidationCategory::Suspicious;
+    case sim::TruthLabel::Benign: return ValidationCategory::Legitimate;
+  }
+  return ValidationCategory::Legitimate;
+}
+
+ValidationCounts validate_detections(const std::vector<std::string>& detected,
+                                     const sim::IntelOracle& oracle) {
+  ValidationCounts counts;
+  for (const std::string& domain : detected) {
+    switch (classify_detection(domain, oracle)) {
+      case ValidationCategory::KnownMalicious: ++counts.known_malicious; break;
+      case ValidationCategory::NewMalicious: ++counts.new_malicious; break;
+      case ValidationCategory::Suspicious: ++counts.suspicious; break;
+      case ValidationCategory::Legitimate: ++counts.legitimate; break;
+    }
+  }
+  return counts;
+}
+
+}  // namespace eid::eval

@@ -1,0 +1,96 @@
+// Evaluation metrics as defined by the paper:
+//   TDR (true detection rate)  = TP / detected        (§V-C)
+//   FDR (false detection rate) = FP / detected = 1 - TDR
+//   FNR (false negative rate)  = FN / (TP + FN)
+//   NDR (new-discovery rate)   = (new malicious + suspicious) / detected (§VI-B)
+// plus the four validation categories of §VI-B.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/oracle.h"
+
+namespace eid::eval {
+
+/// Binary detection counts (LANL-style evaluation, Table III).
+struct DetectionCounts {
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t fn = 0;
+
+  std::size_t detected() const { return tp + fp; }
+  double tdr() const {
+    return detected() > 0 ? static_cast<double>(tp) / static_cast<double>(detected())
+                          : 0.0;
+  }
+  double fdr() const { return detected() > 0 ? 1.0 - tdr() : 0.0; }
+  double fnr() const {
+    const std::size_t relevant = tp + fn;
+    return relevant > 0 ? static_cast<double>(fn) / static_cast<double>(relevant)
+                        : 0.0;
+  }
+
+  DetectionCounts& operator+=(const DetectionCounts& other) {
+    tp += other.tp;
+    fp += other.fp;
+    fn += other.fn;
+    return *this;
+  }
+};
+
+/// Count detections against an answer set.
+DetectionCounts score_detections(const std::vector<std::string>& detected,
+                                 const std::vector<std::string>& answers);
+
+/// Validation category of a detected domain (§VI-B). "Known" means an
+/// anti-virus scanner or the IOC list already reports it; "new malicious"
+/// and "suspicious" are confirmed by (simulated) manual investigation.
+enum class ValidationCategory {
+  KnownMalicious,  ///< VirusTotal- or IOC-reported
+  NewMalicious,    ///< truly malicious, unknown to every feed
+  Suspicious,      ///< grayware (ad networks, toolbars, trackers, ...)
+  Legitimate,      ///< benign: a false detection
+};
+
+const char* validation_category_name(ValidationCategory category);
+
+ValidationCategory classify_detection(const std::string& domain,
+                                      const sim::IntelOracle& oracle);
+
+/// Per-category tallies for a set of detected domains (Fig. 6 stacks).
+struct ValidationCounts {
+  std::size_t known_malicious = 0;
+  std::size_t new_malicious = 0;
+  std::size_t suspicious = 0;
+  std::size_t legitimate = 0;
+
+  std::size_t total() const {
+    return known_malicious + new_malicious + suspicious + legitimate;
+  }
+  std::size_t bad() const { return known_malicious + new_malicious + suspicious; }
+  double tdr() const {
+    return total() > 0 ? static_cast<double>(bad()) / static_cast<double>(total())
+                       : 0.0;
+  }
+  double fdr() const { return total() > 0 ? 1.0 - tdr() : 0.0; }
+  double ndr() const {
+    return total() > 0 ? static_cast<double>(new_malicious + suspicious) /
+                             static_cast<double>(total())
+                       : 0.0;
+  }
+
+  ValidationCounts& operator+=(const ValidationCounts& other) {
+    known_malicious += other.known_malicious;
+    new_malicious += other.new_malicious;
+    suspicious += other.suspicious;
+    legitimate += other.legitimate;
+    return *this;
+  }
+};
+
+ValidationCounts validate_detections(const std::vector<std::string>& detected,
+                                     const sim::IntelOracle& oracle);
+
+}  // namespace eid::eval

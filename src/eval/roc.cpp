@@ -1,0 +1,63 @@
+#include "eval/roc.h"
+
+#include <algorithm>
+
+namespace eid::eval {
+
+std::vector<RocPoint> roc_curve(std::span<const std::pair<double, bool>> scored) {
+  std::vector<std::pair<double, bool>> sorted(scored.begin(), scored.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::size_t positives = 0;
+  std::size_t negatives = 0;
+  for (const auto& [score, positive] : sorted) {
+    (positive ? positives : negatives) += 1;
+  }
+  std::vector<RocPoint> curve;
+  if (positives == 0 || negatives == 0) return curve;
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    const double threshold = sorted[i].first;
+    // Consume the whole tie group before emitting a point.
+    while (i < sorted.size() && sorted[i].first == threshold) {
+      (sorted[i].second ? tp : fp) += 1;
+      ++i;
+    }
+    curve.push_back(RocPoint{threshold,
+                             static_cast<double>(tp) / static_cast<double>(positives),
+                             static_cast<double>(fp) / static_cast<double>(negatives)});
+  }
+  return curve;
+}
+
+double roc_auc(std::span<const std::pair<double, bool>> scored) {
+  // Mann-Whitney: AUC = (mean rank of positives - (P+1)/2) / N.
+  std::vector<std::pair<double, bool>> sorted(scored.begin(), scored.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  const std::size_t n = sorted.size();
+  std::size_t positives = 0;
+  for (const auto& [score, positive] : sorted) positives += positive ? 1 : 0;
+  const std::size_t negatives = n - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+
+  double positive_rank_sum = 0.0;
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j < n && sorted[j].first == sorted[i].first) ++j;
+    const double mid_rank = (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+    for (std::size_t k = i; k < j; ++k) {
+      if (sorted[k].second) positive_rank_sum += mid_rank;
+    }
+    i = j;
+  }
+  const double u = positive_rank_sum -
+                   static_cast<double>(positives) *
+                       (static_cast<double>(positives) + 1.0) / 2.0;
+  return u / (static_cast<double>(positives) * static_cast<double>(negatives));
+}
+
+}  // namespace eid::eval

@@ -1,0 +1,29 @@
+// ROC analysis for scored detections: threshold sweeps like Fig. 5/6 are
+// points on a ROC curve, and AUC summarizes how well a scoring model ranks
+// malicious above benign independent of any single threshold choice.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace eid::eval {
+
+/// One operating point.
+struct RocPoint {
+  double threshold = 0.0;
+  double tpr = 0.0;  ///< true positive rate at score >= threshold
+  double fpr = 0.0;  ///< false positive rate at score >= threshold
+};
+
+/// Full ROC curve from (score, is_positive) pairs: one point per distinct
+/// score, ordered from the highest threshold (0,0 end) to the lowest
+/// (1,1 end). Empty input yields an empty curve.
+std::vector<RocPoint> roc_curve(std::span<const std::pair<double, bool>> scored);
+
+/// Area under the ROC curve via the Mann-Whitney U statistic (ties count
+/// half). 0.5 = random ranking, 1.0 = perfect. Returns 0.5 when either
+/// class is empty.
+double roc_auc(std::span<const std::pair<double, bool>> scored);
+
+}  // namespace eid::eval

@@ -1,0 +1,83 @@
+#include "features/automation.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace eid::features {
+
+double DomainAutomation::dominant_period() const {
+  if (pairs.empty()) return 0.0;
+  const auto best = std::min_element(
+      pairs.begin(), pairs.end(), [](const AutomatedPair& a, const AutomatedPair& b) {
+        return a.divergence < b.divergence;
+      });
+  return best->period;
+}
+
+namespace {
+
+// Automated pairs of one candidate domain, in deterministic (host) order.
+std::vector<AutomatedPair> analyze_domain(
+    const graph::DayGraph& graph, graph::DomainId domain,
+    const timing::PeriodicityDetector& detector) {
+  std::vector<AutomatedPair> out;
+  for (const graph::HostId host : graph.domain_hosts(domain)) {
+    const graph::EdgeData* edge = graph.edge(host, domain);
+    if (edge == nullptr) continue;
+    const timing::AutomationResult result = detector.test(edge->times);
+    if (!result.automated) continue;
+    AutomatedPair pair;
+    pair.host = host;
+    pair.domain = domain;
+    pair.period = result.period;
+    pair.divergence = result.divergence;
+    out.push_back(pair);
+  }
+  return out;
+}
+
+}  // namespace
+
+AutomationAnalysis AutomationAnalysis::analyze(
+    const graph::DayGraph& graph, std::span<const graph::DomainId> candidates,
+    const timing::PeriodicityDetector& detector, std::size_t n_threads) {
+  // Per-candidate result slots keep the merge order independent of thread
+  // scheduling.
+  std::vector<std::vector<AutomatedPair>> slots(candidates.size());
+  if (n_threads <= 1 || candidates.size() < 2) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      slots[i] = analyze_domain(graph, candidates[i], detector);
+    }
+  } else {
+    const std::size_t workers = std::min(n_threads, candidates.size());
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        for (std::size_t i = w; i < candidates.size(); i += workers) {
+          slots[i] = analyze_domain(graph, candidates[i], detector);
+        }
+      });
+    }
+    for (std::thread& worker : pool) worker.join();
+  }
+
+  AutomationAnalysis out;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (slots[i].empty()) continue;
+    DomainAutomation& agg = out.by_domain_[candidates[i]];
+    agg.pairs.insert(agg.pairs.end(), slots[i].begin(), slots[i].end());
+    out.pair_count_ += slots[i].size();
+  }
+  return out;
+}
+
+std::vector<graph::DomainId> AutomationAnalysis::automated_domains() const {
+  std::vector<graph::DomainId> out;
+  out.reserve(by_domain_.size());
+  for (const auto& [domain, agg] : by_domain_) out.push_back(domain);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace eid::features

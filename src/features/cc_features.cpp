@@ -1,0 +1,73 @@
+#include "features/cc_features.h"
+
+namespace eid::features {
+
+RegistrationFeatures registration_features(const WhoisSource& whois,
+                                           const std::string& domain,
+                                           util::Day today,
+                                           const WhoisDefaults& defaults) {
+  RegistrationFeatures out;
+  const auto info = whois.lookup(domain);
+  // A registration date in the future means the record did not exist at
+  // query time (the paper observed DGA domains registered only after
+  // detection, §VI-D) — treat it like a failed lookup.
+  if (info && info->registered <= today) {
+    out.age_days = static_cast<double>(today - info->registered);
+    out.validity_days = static_cast<double>(info->expires - today);
+    out.from_whois = true;
+  } else {
+    out.age_days = defaults.age_days;
+    out.validity_days = defaults.validity_days;
+    out.from_whois = false;
+  }
+  return out;
+}
+
+bool host_uses_rare_ua(const graph::EdgeData& edge, const graph::DayGraph& graph,
+                       const profile::UaHistory& ua_history) {
+  if (edge.user_agents.empty()) {
+    // Only UA-less requests on the edge (or DNS data with no UA context at
+    // all — callers guard on has_http_context via NoRef being 0 there).
+    return edge.any_empty_ua;
+  }
+  for (const graph::UaId ua : edge.user_agents) {
+    if (!ua_history.is_rare(graph.ua_name(ua))) return false;
+  }
+  return true;
+}
+
+CcFeatureRow extract_cc_features(const graph::DayGraph& graph,
+                                 graph::DomainId domain,
+                                 const AutomationAnalysis& automation,
+                                 const profile::UaHistory& ua_history,
+                                 const WhoisSource& whois, util::Day today,
+                                 const WhoisDefaults& defaults) {
+  CcFeatureRow row;
+  row.domain = domain;
+  const auto hosts = graph.domain_hosts(domain);
+  row.no_hosts = static_cast<double>(hosts.size());
+  if (const DomainAutomation* agg = automation.domain(domain)) {
+    row.auto_hosts = static_cast<double>(agg->host_count());
+  }
+  std::size_t no_ref_hosts = 0;
+  std::size_t rare_ua_hosts = 0;
+  for (const graph::HostId host : hosts) {
+    const graph::EdgeData* edge = graph.edge(host, domain);
+    if (edge == nullptr) continue;
+    if (!edge->any_referer) ++no_ref_hosts;
+    if (host_uses_rare_ua(*edge, graph, ua_history)) ++rare_ua_hosts;
+  }
+  if (!hosts.empty()) {
+    row.no_ref = static_cast<double>(no_ref_hosts) / static_cast<double>(hosts.size());
+    row.rare_ua =
+        static_cast<double>(rare_ua_hosts) / static_cast<double>(hosts.size());
+  }
+  const RegistrationFeatures reg =
+      registration_features(whois, graph.domain_name(domain), today, defaults);
+  row.dom_age = reg.age_days;
+  row.dom_validity = reg.validity_days;
+  row.whois_resolved = reg.from_whois;
+  return row;
+}
+
+}  // namespace eid::features

@@ -1,0 +1,58 @@
+// The six features of the C&C communication detector (§IV-C):
+//   NoHosts      domain connectivity (distinct hosts contacting the domain)
+//   AutoHosts    hosts with automated connections to the domain
+//   NoRef        fraction of hosts contacting the domain with no web referer
+//   RareUA       fraction of hosts using no UA or only rare UAs on the edge
+//   DomAge       days since WHOIS registration
+//   DomValidity  days until the registration expires
+// NoRef/RareUA are only meaningful for proxy-derived data; for DNS-derived
+// events they evaluate to 0, matching the reduced feature set the paper
+// uses on LANL (§V-B).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "features/automation.h"
+#include "features/whois_source.h"
+#include "graph/day_graph.h"
+#include "profile/ua_history.h"
+
+namespace eid::features {
+
+inline constexpr std::size_t kCcFeatureCount = 6;
+
+inline constexpr std::array<const char*, kCcFeatureCount> kCcFeatureNames = {
+    "NoHosts", "AutoHosts", "NoRef", "RareUA", "DomAge", "DomValidity"};
+
+/// One feature row for a rare automated domain.
+struct CcFeatureRow {
+  graph::DomainId domain = 0;
+  double no_hosts = 0.0;
+  double auto_hosts = 0.0;
+  double no_ref = 0.0;
+  double rare_ua = 0.0;
+  double dom_age = 0.0;
+  double dom_validity = 0.0;
+  bool whois_resolved = false;
+
+  std::array<double, kCcFeatureCount> as_array() const {
+    return {no_hosts, auto_hosts, no_ref, rare_ua, dom_age, dom_validity};
+  }
+};
+
+/// True when every request the host made to the domain carried no UA or a
+/// rare UA (per the enterprise UA history). Exposed for testing.
+bool host_uses_rare_ua(const graph::EdgeData& edge, const graph::DayGraph& graph,
+                       const profile::UaHistory& ua_history);
+
+/// Extract the C&C feature row for one domain.
+CcFeatureRow extract_cc_features(const graph::DayGraph& graph,
+                                 graph::DomainId domain,
+                                 const AutomationAnalysis& automation,
+                                 const profile::UaHistory& ua_history,
+                                 const WhoisSource& whois, util::Day today,
+                                 const WhoisDefaults& defaults);
+
+}  // namespace eid::features

@@ -1,0 +1,74 @@
+#include "features/similarity_features.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eid::features {
+
+double min_visit_gap(const graph::DayGraph& graph, graph::DomainId domain,
+                     std::span<const graph::DomainId> labeled) {
+  double best = kNoSharedVisitGap;
+  for (const graph::HostId host : graph.domain_hosts(domain)) {
+    const auto mine = graph.first_contact(host, domain);
+    if (!mine) continue;
+    for (const graph::DomainId other : labeled) {
+      if (other == domain) continue;
+      const auto theirs = graph.first_contact(host, other);
+      if (!theirs) continue;
+      best = std::min(best, std::abs(static_cast<double>(*mine - *theirs)));
+    }
+  }
+  return best;
+}
+
+IpProximity ip_proximity(const graph::DayGraph& graph, graph::DomainId domain,
+                         std::span<const graph::DomainId> labeled) {
+  IpProximity out;
+  const auto my_ips = graph.domain_ips(domain);
+  for (const graph::DomainId other : labeled) {
+    if (other == domain) continue;
+    for (const util::Ipv4 a : my_ips) {
+      for (const util::Ipv4 b : graph.domain_ips(other)) {
+        if (util::same_subnet24(a, b)) out.share24 = true;
+        if (util::same_subnet16(a, b)) out.share16 = true;
+      }
+    }
+    if (out.share24 && out.share16) break;
+  }
+  return out;
+}
+
+SimilarityFeatureRow extract_similarity_features(
+    const graph::DayGraph& graph, graph::DomainId domain,
+    std::span<const graph::DomainId> labeled, const profile::UaHistory& ua_history,
+    const WhoisSource& whois, util::Day today, const WhoisDefaults& defaults) {
+  SimilarityFeatureRow row;
+  row.domain = domain;
+  const auto hosts = graph.domain_hosts(domain);
+  row.no_hosts = static_cast<double>(hosts.size());
+  row.dom_interval = min_visit_gap(graph, domain, labeled);
+  const IpProximity prox = ip_proximity(graph, domain, labeled);
+  row.ip24 = prox.share24 ? 1.0 : 0.0;
+  row.ip16 = prox.share16 ? 1.0 : 0.0;
+  std::size_t no_ref_hosts = 0;
+  std::size_t rare_ua_hosts = 0;
+  for (const graph::HostId host : hosts) {
+    const graph::EdgeData* edge = graph.edge(host, domain);
+    if (edge == nullptr) continue;
+    if (!edge->any_referer) ++no_ref_hosts;
+    if (host_uses_rare_ua(*edge, graph, ua_history)) ++rare_ua_hosts;
+  }
+  if (!hosts.empty()) {
+    row.no_ref = static_cast<double>(no_ref_hosts) / static_cast<double>(hosts.size());
+    row.rare_ua =
+        static_cast<double>(rare_ua_hosts) / static_cast<double>(hosts.size());
+  }
+  const RegistrationFeatures reg =
+      registration_features(whois, graph.domain_name(domain), today, defaults);
+  row.dom_age = reg.age_days;
+  row.dom_validity = reg.validity_days;
+  row.whois_resolved = reg.from_whois;
+  return row;
+}
+
+}  // namespace eid::features

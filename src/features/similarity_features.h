@@ -1,0 +1,65 @@
+// Domain-similarity features (§IV-D): how much does a rare domain D look
+// like the set S of domains already labeled malicious in earlier belief
+// propagation iterations?
+//   NoHosts      domain connectivity
+//   DomInterval  minimum gap between a host's first visit to D and the same
+//                host's first visit to any domain in S (seconds; a full day
+//                when no host visited both)
+//   IP24 / IP16  1 when D shares a /24 (resp. /16) with some domain in S
+//   NoRef, RareUA, DomAge, DomValidity as in the C&C detector
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+
+#include "features/cc_features.h"
+
+namespace eid::features {
+
+inline constexpr std::size_t kSimFeatureCount = 8;
+
+inline constexpr std::array<const char*, kSimFeatureCount> kSimFeatureNames = {
+    "NoHosts", "DomInterval", "IP24", "IP16",
+    "NoRef",   "RareUA",      "DomAge", "DomValidity"};
+
+/// Gap used when no host visited both D and a labeled domain.
+inline constexpr double kNoSharedVisitGap = 86400.0;
+
+struct SimilarityFeatureRow {
+  graph::DomainId domain = 0;
+  double no_hosts = 0.0;
+  double dom_interval = kNoSharedVisitGap;
+  double ip24 = 0.0;
+  double ip16 = 0.0;
+  double no_ref = 0.0;
+  double rare_ua = 0.0;
+  double dom_age = 0.0;
+  double dom_validity = 0.0;
+  bool whois_resolved = false;
+
+  std::array<double, kSimFeatureCount> as_array() const {
+    return {no_hosts, dom_interval, ip24, ip16, no_ref, rare_ua, dom_age,
+            dom_validity};
+  }
+};
+
+/// Minimum first-visit gap between D and the labeled set over shared hosts.
+double min_visit_gap(const graph::DayGraph& graph, graph::DomainId domain,
+                     std::span<const graph::DomainId> labeled);
+
+/// IP-space proximity of D to the labeled set: {share24, share16}.
+struct IpProximity {
+  bool share24 = false;
+  bool share16 = false;
+};
+IpProximity ip_proximity(const graph::DayGraph& graph, graph::DomainId domain,
+                         std::span<const graph::DomainId> labeled);
+
+/// Full similarity feature row for D relative to labeled set S.
+SimilarityFeatureRow extract_similarity_features(
+    const graph::DayGraph& graph, graph::DomainId domain,
+    std::span<const graph::DomainId> labeled, const profile::UaHistory& ua_history,
+    const WhoisSource& whois, util::Day today, const WhoisDefaults& defaults);
+
+}  // namespace eid::features

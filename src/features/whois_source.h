@@ -1,0 +1,51 @@
+// Registration-data features (§IV-C) are computed through this interface:
+// the production system queries live WHOIS; the reproduction queries the
+// simulator's synthetic registry. Lookups can fail (the paper notes WHOIS
+// is often unparseable), in which case the pipeline substitutes the average
+// across automated domains.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/time.h"
+
+namespace eid::features {
+
+/// Registration window of a domain.
+struct WhoisInfo {
+  util::Day registered = 0;  ///< registration day
+  util::Day expires = 0;     ///< end of the paid registration period
+};
+
+/// Abstract WHOIS data source.
+class WhoisSource {
+ public:
+  virtual ~WhoisSource() = default;
+
+  /// Registration info, or nullopt when the domain is unregistered or the
+  /// record is unparseable.
+  virtual std::optional<WhoisInfo> lookup(const std::string& domain) const = 0;
+};
+
+/// Fallback values used when a lookup fails: the paper sets DomAge and
+/// DomValidity "at average values across all automated domains" (§VI-C).
+struct WhoisDefaults {
+  double age_days = 365.0;
+  double validity_days = 365.0;
+};
+
+/// DomAge / DomValidity for a domain on `today`, with fallback.
+/// DomAge = days since registration; DomValidity = days until expiry.
+struct RegistrationFeatures {
+  double age_days = 0.0;
+  double validity_days = 0.0;
+  bool from_whois = false;  ///< false when defaults were substituted
+};
+
+RegistrationFeatures registration_features(const WhoisSource& whois,
+                                           const std::string& domain,
+                                           util::Day today,
+                                           const WhoisDefaults& defaults);
+
+}  // namespace eid::features

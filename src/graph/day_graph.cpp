@@ -1,0 +1,78 @@
+#include "graph/day_graph.h"
+
+#include <algorithm>
+
+namespace eid::graph {
+
+void DayGraph::add_event(const logs::ConnEvent& event) {
+  const HostId host = hosts_.intern(event.host);
+  const DomainId domain = domains_.intern(event.domain);
+  EdgeData& edge = edges_[edge_key(host, domain)];
+  edge.times.push_back(event.ts);
+  if (event.has_referer) edge.any_referer = true;
+  if (event.has_http_context) {
+    if (event.user_agent.empty()) {
+      edge.any_empty_ua = true;
+    } else {
+      const UaId ua = uas_.intern(event.user_agent);
+      if (std::find(edge.user_agents.begin(), edge.user_agents.end(), ua) ==
+          edge.user_agents.end()) {
+        edge.user_agents.push_back(ua);
+      }
+    }
+  }
+  if (event.dest_ip) {
+    if (ips_of_domain_.size() <= domain) ips_of_domain_.resize(domain + 1);
+    auto& ips = ips_of_domain_[domain];
+    if (std::find(ips.begin(), ips.end(), *event.dest_ip) == ips.end()) {
+      ips.push_back(*event.dest_ip);
+    }
+  }
+  finalized_ = false;
+}
+
+void DayGraph::finalize() {
+  hosts_of_domain_.assign(domains_.size(), {});
+  domains_of_host_.assign(hosts_.size(), {});
+  ips_of_domain_.resize(domains_.size());
+  for (auto& [key, edge] : edges_) {
+    std::sort(edge.times.begin(), edge.times.end());
+    const HostId host = static_cast<HostId>(key >> 32);
+    const DomainId domain = static_cast<DomainId>(key & 0xffffffffu);
+    hosts_of_domain_[domain].push_back(host);
+    domains_of_host_[host].push_back(domain);
+  }
+  // Deterministic ordering independent of hash iteration order.
+  for (auto& hosts : hosts_of_domain_) std::sort(hosts.begin(), hosts.end());
+  for (auto& domains : domains_of_host_) std::sort(domains.begin(), domains.end());
+  finalized_ = true;
+}
+
+std::span<const HostId> DayGraph::domain_hosts(DomainId domain) const {
+  if (domain >= hosts_of_domain_.size()) return {};
+  return hosts_of_domain_[domain];
+}
+
+std::span<const DomainId> DayGraph::host_domains(HostId host) const {
+  if (host >= domains_of_host_.size()) return {};
+  return domains_of_host_[host];
+}
+
+const EdgeData* DayGraph::edge(HostId host, DomainId domain) const {
+  auto it = edges_.find(edge_key(host, domain));
+  return it == edges_.end() ? nullptr : &it->second;
+}
+
+std::optional<util::TimePoint> DayGraph::first_contact(HostId host,
+                                                       DomainId domain) const {
+  const EdgeData* e = edge(host, domain);
+  if (e == nullptr || e->times.empty()) return std::nullopt;
+  return e->times.front();
+}
+
+std::span<const util::Ipv4> DayGraph::domain_ips(DomainId domain) const {
+  if (domain >= ips_of_domain_.size()) return {};
+  return ips_of_domain_[domain];
+}
+
+}  // namespace eid::graph

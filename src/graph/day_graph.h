@@ -1,0 +1,91 @@
+// The host <-> domain bipartite graph for one observation window (one day,
+// §III-C). Nodes are interned to dense ids; each edge stores the connection
+// timestamps and the HTTP context aggregates the feature layer needs
+// (referer presence, user-agent set). The belief propagation algorithm
+// consumes this structure through the dom_host / host_rdom views named in
+// Algorithm 1 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "logs/records.h"
+#include "util/interner.h"
+#include "util/ipv4.h"
+#include "util/time.h"
+
+namespace eid::graph {
+
+using HostId = util::InternId;
+using DomainId = util::InternId;
+using UaId = util::InternId;
+
+inline constexpr util::InternId kNoId = util::kInvalidInternId;
+
+/// Aggregated state of one (host, domain) edge.
+struct EdgeData {
+  std::vector<util::TimePoint> times;  ///< sorted after finalize()
+  std::vector<UaId> user_agents;       ///< distinct UAs on this edge
+  bool any_referer = false;            ///< any request carried a referer
+  bool any_empty_ua = false;           ///< any request carried no UA
+};
+
+/// Build by streaming a day of reduced ConnEvents, then call finalize().
+class DayGraph {
+ public:
+  /// Ingest one event. Events may arrive in any order.
+  void add_event(const logs::ConnEvent& event);
+
+  /// Sort edge timestamps and build the per-node adjacency views.
+  /// Must be called once, after the last add_event.
+  void finalize();
+
+  bool finalized() const { return finalized_; }
+
+  std::size_t host_count() const { return hosts_.size(); }
+  std::size_t domain_count() const { return domains_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  const std::string& host_name(HostId id) const { return hosts_.name(id); }
+  const std::string& domain_name(DomainId id) const { return domains_.name(id); }
+  const std::string& ua_name(UaId id) const { return uas_.name(id); }
+
+  /// Id lookups; kNoId when the name never appeared this day.
+  HostId find_host(std::string_view name) const { return hosts_.find(name); }
+  DomainId find_domain(std::string_view name) const { return domains_.find(name); }
+
+  /// dom_host mapping of Algorithm 1: hosts contacting the domain.
+  std::span<const HostId> domain_hosts(DomainId domain) const;
+
+  /// All domains a host contacted this day.
+  std::span<const DomainId> host_domains(HostId host) const;
+
+  /// Edge data; nullptr when the pair never connected.
+  const EdgeData* edge(HostId host, DomainId domain) const;
+
+  /// First connection timestamp of the pair; nullopt when no edge.
+  std::optional<util::TimePoint> first_contact(HostId host, DomainId domain) const;
+
+  /// Distinct destination IPs observed for the domain.
+  std::span<const util::Ipv4> domain_ips(DomainId domain) const;
+
+ private:
+  static std::uint64_t edge_key(HostId h, DomainId d) {
+    return (static_cast<std::uint64_t>(h) << 32) | d;
+  }
+
+  util::Interner hosts_;
+  util::Interner domains_;
+  util::Interner uas_;
+  std::unordered_map<std::uint64_t, EdgeData> edges_;
+  std::vector<std::vector<HostId>> hosts_of_domain_;
+  std::vector<std::vector<DomainId>> domains_of_host_;
+  std::vector<std::vector<util::Ipv4>> ips_of_domain_;
+  bool finalized_ = false;
+};
+
+}  // namespace eid::graph

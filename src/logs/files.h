@@ -1,0 +1,47 @@
+// File-based log ingestion and dataset export. Production deployments read
+// the previous day's logs from disk (§III-E: the system "analyzes log data
+// collected at the enterprise border on a regular basis"); these helpers
+// stream TSV files of DnsRecord / ProxyRecord lines with per-line error
+// accounting (a malformed line must never abort a multi-gigabyte ingest).
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "logs/dhcp.h"
+#include "logs/records.h"
+
+namespace eid::logs {
+
+/// Outcome of reading one log file.
+struct FileReadStats {
+  std::size_t lines = 0;
+  std::size_t parsed = 0;
+  std::size_t malformed = 0;
+  bool opened = false;
+};
+
+/// Read a TSV file of DNS records (format_dns_line format). Malformed
+/// lines are counted and skipped. Empty lines are ignored.
+std::vector<DnsRecord> read_dns_file(const std::filesystem::path& path,
+                                     FileReadStats* stats = nullptr);
+
+/// Read a TSV file of proxy records (format_proxy_line format).
+std::vector<ProxyRecord> read_proxy_file(const std::filesystem::path& path,
+                                         FileReadStats* stats = nullptr);
+
+/// Write records to a TSV file; returns false on I/O failure.
+bool write_dns_file(const std::filesystem::path& path,
+                    const std::vector<DnsRecord>& records);
+bool write_proxy_file(const std::filesystem::path& path,
+                      const std::vector<ProxyRecord>& records);
+
+/// DHCP lease file: "ip\tstart\tend\thostname" per line.
+bool write_dhcp_file(const std::filesystem::path& path,
+                     const std::vector<DhcpLease>& leases);
+std::vector<DhcpLease> read_dhcp_file(const std::filesystem::path& path,
+                                      FileReadStats* stats = nullptr);
+
+}  // namespace eid::logs

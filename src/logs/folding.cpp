@@ -1,0 +1,49 @@
+#include "logs/folding.h"
+
+#include <array>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace eid::logs {
+namespace {
+
+// A deliberately small public-suffix sample: enough for realistic folding of
+// enterprise traffic without shipping the full PSL. Checked against the last
+// two labels of a name.
+constexpr std::array<std::string_view, 12> kTwoLabelSuffixes = {
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "com.au", "net.au",
+    "co.jp", "com.br", "com.cn", "co.in", "co.kr", "com.mx",
+};
+
+}  // namespace
+
+bool has_two_label_public_suffix(std::string_view domain) {
+  const auto labels = util::split(domain, '.');
+  if (labels.size() < 2) return false;
+  const std::string tail = std::string(labels[labels.size() - 2]) + "." +
+                           std::string(labels[labels.size() - 1]);
+  for (const auto suffix : kTwoLabelSuffixes) {
+    if (tail == suffix) return true;
+  }
+  return false;
+}
+
+std::string fold_domain(std::string_view domain, FoldLevel level) {
+  // Strip root-label dots entirely so degenerate inputs (".", "..") fold
+  // to the empty string and folding stays idempotent.
+  while (!domain.empty() && domain.back() == '.') domain.remove_suffix(1);
+  while (!domain.empty() && domain.front() == '.') domain.remove_prefix(1);
+  const auto labels = util::split(domain, '.');
+  std::size_t keep = static_cast<std::size_t>(level);
+  if (has_two_label_public_suffix(domain)) ++keep;
+  if (labels.size() <= keep) return util::to_lower(domain);
+  std::string out;
+  for (std::size_t i = labels.size() - keep; i < labels.size(); ++i) {
+    if (!out.empty()) out += '.';
+    out += util::to_lower(labels[i]);
+  }
+  return out;
+}
+
+}  // namespace eid::logs

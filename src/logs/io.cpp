@@ -1,0 +1,116 @@
+#include "logs/io.h"
+
+#include <charconv>
+
+#include "util/strings.h"
+
+namespace eid::logs {
+namespace {
+
+bool parse_i64(std::string_view text, std::int64_t& out) {
+  const auto* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), end, out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool parse_int(std::string_view text, int& out) {
+  const auto* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), end, out);
+  return ec == std::errc() && ptr == end;
+}
+
+DnsType dns_type_from(std::string_view text) {
+  if (text == "A") return DnsType::A;
+  if (text == "AAAA") return DnsType::AAAA;
+  if (text == "TXT") return DnsType::TXT;
+  if (text == "PTR") return DnsType::PTR;
+  if (text == "MX") return DnsType::MX;
+  if (text == "CNAME") return DnsType::CNAME;
+  if (text == "SRV") return DnsType::SRV;
+  return DnsType::Other;
+}
+
+HttpMethod method_from(std::string_view text) {
+  if (text == "GET") return HttpMethod::Get;
+  if (text == "POST") return HttpMethod::Post;
+  if (text == "HEAD") return HttpMethod::Head;
+  if (text == "PUT") return HttpMethod::Put;
+  if (text == "CONNECT") return HttpMethod::Connect;
+  return HttpMethod::Other;
+}
+
+}  // namespace
+
+std::string format_dns_line(const DnsRecord& rec) {
+  std::string out = std::to_string(rec.ts);
+  out += '\t';
+  out += rec.src;
+  out += '\t';
+  out += rec.domain;
+  out += '\t';
+  out += dns_type_name(rec.type);
+  out += '\t';
+  out += rec.response_ip ? util::format_ipv4(*rec.response_ip) : "-";
+  return out;
+}
+
+std::optional<DnsRecord> parse_dns_line(std::string_view line) {
+  const auto fields = util::split(line, '\t');
+  if (fields.size() != 5) return std::nullopt;
+  DnsRecord rec;
+  if (!parse_i64(fields[0], rec.ts)) return std::nullopt;
+  if (fields[1].empty() || fields[2].empty()) return std::nullopt;
+  rec.src = std::string(fields[1]);
+  rec.domain = std::string(fields[2]);
+  rec.type = dns_type_from(fields[3]);
+  if (fields[4] != "-") {
+    rec.response_ip = util::parse_ipv4(fields[4]);
+    if (!rec.response_ip) return std::nullopt;
+  }
+  return rec;
+}
+
+std::string format_proxy_line(const ProxyRecord& rec) {
+  std::string out = std::to_string(rec.ts);
+  const auto append = [&out](std::string_view field) {
+    out += '\t';
+    out += field.empty() ? std::string_view("-") : field;
+  };
+  append(rec.collector);
+  append(rec.src_ip);
+  append(rec.hostname);
+  append(rec.domain);
+  append(rec.dest_ip ? util::format_ipv4(*rec.dest_ip) : "-");
+  append(rec.url_path);
+  append(http_method_name(rec.method));
+  append(std::to_string(rec.status));
+  append(rec.user_agent);
+  append(rec.referer);
+  return out;
+}
+
+std::optional<ProxyRecord> parse_proxy_line(std::string_view line) {
+  const auto fields = util::split(line, '\t');
+  if (fields.size() != 11) return std::nullopt;
+  const auto value = [](std::string_view field) {
+    return field == "-" ? std::string() : std::string(field);
+  };
+  ProxyRecord rec;
+  if (!parse_i64(fields[0], rec.ts)) return std::nullopt;
+  rec.collector = value(fields[1]);
+  rec.src_ip = value(fields[2]);
+  rec.hostname = value(fields[3]);
+  rec.domain = value(fields[4]);
+  if (fields[5] != "-") {
+    rec.dest_ip = util::parse_ipv4(fields[5]);
+    if (!rec.dest_ip) return std::nullopt;
+  }
+  rec.url_path = value(fields[6]);
+  rec.method = method_from(fields[7]);
+  if (!parse_int(fields[8], rec.status)) return std::nullopt;
+  rec.user_agent = value(fields[9]);
+  rec.referer = value(fields[10]);
+  return rec;
+}
+
+}  // namespace eid::logs

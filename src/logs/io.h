@@ -1,0 +1,23 @@
+// Tab-separated serialization for log records, so examples and operators can
+// persist simulated datasets and re-ingest them like real log files.
+// Parsers are total: malformed lines yield std::nullopt and are counted by
+// callers rather than aborting a multi-terabyte ingest.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "logs/records.h"
+
+namespace eid::logs {
+
+/// DnsRecord <-> "ts\tsrc\tdomain\ttype\tresponse_ip".
+std::string format_dns_line(const DnsRecord& rec);
+std::optional<DnsRecord> parse_dns_line(std::string_view line);
+
+/// ProxyRecord <-> TSV with all HTTP context fields.
+std::string format_proxy_line(const ProxyRecord& rec);
+std::optional<ProxyRecord> parse_proxy_line(std::string_view line);
+
+}  // namespace eid::logs

@@ -1,0 +1,92 @@
+#include "logs/netflow.h"
+
+#include <algorithm>
+
+namespace eid::logs {
+
+void PassiveDnsCache::observe(const std::string& domain, util::Ipv4 ip,
+                              util::TimePoint ts) {
+  PerIp& slot = by_ip_[ip];
+  if (!slot.mappings.empty() && ts < slot.mappings.back().ts) slot.sorted = false;
+  // Skip consecutive duplicates (beaconing hosts re-resolve constantly).
+  // The run keeps its EARLIEST timestamp: attribution asks "who held this
+  // IP at or before t", and the answer has been this domain since the
+  // first observation of the run.
+  if (!slot.mappings.empty() && slot.mappings.back().domain == domain &&
+      slot.sorted) {
+    return;
+  }
+  slot.mappings.push_back(Mapping{ts, domain});
+  ++observations_;
+}
+
+void PassiveDnsCache::observe_day(std::span<const DnsRecord> records) {
+  for (const DnsRecord& rec : records) {
+    if (rec.type == DnsType::A && rec.response_ip) {
+      observe(rec.domain, *rec.response_ip, rec.ts);
+    }
+  }
+}
+
+std::optional<std::string> PassiveDnsCache::attribute(util::Ipv4 ip,
+                                                      util::TimePoint ts) const {
+  auto it = by_ip_.find(ip);
+  if (it == by_ip_.end()) return std::nullopt;
+  PerIp& slot = it->second;
+  if (!slot.sorted) {
+    std::stable_sort(
+        slot.mappings.begin(), slot.mappings.end(),
+        [](const Mapping& a, const Mapping& b) { return a.ts < b.ts; });
+    slot.sorted = true;
+  }
+  auto upper = std::upper_bound(
+      slot.mappings.begin(), slot.mappings.end(), ts,
+      [](util::TimePoint t, const Mapping& m) { return t < m.ts; });
+  if (upper == slot.mappings.begin()) return std::nullopt;
+  return std::prev(upper)->domain;
+}
+
+std::vector<ConnEvent> reduce_flows(std::span<const FlowRecord> flows,
+                                    const PassiveDnsCache& pdns,
+                                    const FlowReductionConfig& config,
+                                    FlowReductionStats* stats) {
+  FlowReductionStats local;
+  FlowReductionStats& s = stats ? *stats : local;
+  s = FlowReductionStats{};
+  s.total_flows = flows.size();
+
+  std::vector<ConnEvent> out;
+  out.reserve(flows.size());
+  for (const FlowRecord& flow : flows) {
+    const bool port_ok =
+        flow.protocol == 6 &&
+        std::find(config.ports.begin(), config.ports.end(), flow.dst_port) !=
+            config.ports.end();
+    if (!port_ok) {
+      ++s.port_filtered;
+      continue;
+    }
+    if (config.drop_private_destinations && util::is_private_ipv4(flow.dst_ip)) {
+      ++s.internal_destinations;
+      continue;
+    }
+    const auto domain = pdns.attribute(flow.dst_ip, flow.ts);
+    if (!domain) {
+      ++s.unattributed;
+      continue;
+    }
+    ConnEvent event;
+    event.ts = flow.ts;
+    event.host = flow.src;
+    event.domain = fold_domain(*domain, config.fold_level);
+    event.dest_ip = flow.dst_ip;
+    event.has_http_context = false;  // flows carry no UA/referer
+    out.push_back(std::move(event));
+    ++s.kept;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ConnEvent& a, const ConnEvent& b) { return a.ts < b.ts; });
+  return out;
+}
+
+}  // namespace eid::logs

@@ -1,0 +1,31 @@
+#include "logs/records.h"
+
+namespace eid::logs {
+
+const char* dns_type_name(DnsType type) {
+  switch (type) {
+    case DnsType::A: return "A";
+    case DnsType::AAAA: return "AAAA";
+    case DnsType::TXT: return "TXT";
+    case DnsType::PTR: return "PTR";
+    case DnsType::MX: return "MX";
+    case DnsType::CNAME: return "CNAME";
+    case DnsType::SRV: return "SRV";
+    case DnsType::Other: return "OTHER";
+  }
+  return "OTHER";
+}
+
+const char* http_method_name(HttpMethod method) {
+  switch (method) {
+    case HttpMethod::Get: return "GET";
+    case HttpMethod::Post: return "POST";
+    case HttpMethod::Head: return "HEAD";
+    case HttpMethod::Put: return "PUT";
+    case HttpMethod::Connect: return "CONNECT";
+    case HttpMethod::Other: return "OTHER";
+  }
+  return "OTHER";
+}
+
+}  // namespace eid::logs

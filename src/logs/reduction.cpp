@@ -1,0 +1,122 @@
+#include "logs/reduction.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace eid::logs {
+namespace {
+
+bool matches_internal_suffix(const std::string& domain,
+                             const std::vector<std::string>& suffixes) {
+  for (const auto& suffix : suffixes) {
+    if (domain == suffix || util::ends_with(domain, "." + suffix)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<ConnEvent> reduce_dns(std::span<const DnsRecord> records,
+                                  const DnsReductionConfig& config,
+                                  DnsReductionStats* stats) {
+  DnsReductionStats local;
+  DnsReductionStats& s = stats ? *stats : local;
+  s = DnsReductionStats{};
+  s.total_records = records.size();
+
+  std::unordered_set<std::string> domains_all;
+  std::unordered_set<std::string> domains_internal;
+  std::unordered_set<std::string> domains_final;
+  std::unordered_set<std::string> hosts_final;
+
+  std::vector<ConnEvent> out;
+  out.reserve(records.size());
+  for (const DnsRecord& rec : records) {
+    if (rec.type != DnsType::A) continue;
+    ++s.a_records;
+    const std::string folded = fold_domain(rec.domain, config.fold_level);
+    domains_all.insert(folded);
+    if (matches_internal_suffix(folded, config.internal_suffixes)) continue;
+    ++s.after_internal_query_filter;
+    domains_internal.insert(folded);
+    if (config.internal_servers.contains(rec.src)) continue;
+    ++s.after_server_filter;
+    domains_final.insert(folded);
+    hosts_final.insert(rec.src);
+    ConnEvent ev;
+    ev.ts = rec.ts;
+    ev.host = rec.src;
+    ev.domain = folded;
+    ev.dest_ip = rec.response_ip;
+    ev.has_http_context = false;
+    out.push_back(std::move(ev));
+  }
+  s.domains_all = domains_all.size();
+  s.domains_after_internal_filter = domains_internal.size();
+  s.domains_after_server_filter = domains_final.size();
+  s.hosts_after_server_filter = hosts_final.size();
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ConnEvent& a, const ConnEvent& b) { return a.ts < b.ts; });
+  return out;
+}
+
+std::vector<ConnEvent> reduce_proxy(std::span<const ProxyRecord> records,
+                                    const DhcpTable& leases,
+                                    const ProxyReductionConfig& config,
+                                    ProxyReductionStats* stats) {
+  ProxyReductionStats local;
+  ProxyReductionStats& s = stats ? *stats : local;
+  s = ProxyReductionStats{};
+  s.total_records = records.size();
+
+  std::unordered_map<std::string, int> offsets(config.collector_utc_offsets.begin(),
+                                               config.collector_utc_offsets.end());
+  std::unordered_set<std::string> domains;
+  std::unordered_set<std::string> hosts;
+
+  std::vector<ConnEvent> out;
+  out.reserve(records.size());
+  for (const ProxyRecord& rec : records) {
+    // The paper drops destinations that are raw IP addresses.
+    if (rec.domain.empty() || util::parse_ipv4(rec.domain).has_value()) {
+      ++s.ip_literal_destinations;
+      continue;
+    }
+    util::TimePoint ts = rec.ts;
+    if (auto it = offsets.find(rec.collector); it != offsets.end()) {
+      ts -= it->second;
+    }
+    std::string host;
+    if (!rec.hostname.empty()) {
+      host = rec.hostname;
+      ++s.resolved_sources;
+    } else if (auto resolved = leases.resolve(rec.src_ip, ts)) {
+      host = *resolved;
+      ++s.resolved_sources;
+    } else {
+      ++s.unresolved_sources;
+      if (!config.keep_unresolved_sources) continue;
+      host = rec.src_ip;
+    }
+    ConnEvent ev;
+    ev.ts = ts;
+    ev.host = std::move(host);
+    ev.domain = fold_domain(rec.domain, config.fold_level);
+    ev.dest_ip = rec.dest_ip;
+    ev.user_agent = rec.user_agent;
+    ev.has_referer = !rec.referer.empty();
+    ev.has_http_context = true;
+    domains.insert(ev.domain);
+    hosts.insert(ev.host);
+    out.push_back(std::move(ev));
+    ++s.kept_records;
+  }
+  s.domains_all = domains.size();
+  s.hosts_all = hosts.size();
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ConnEvent& a, const ConnEvent& b) { return a.ts < b.ts; });
+  return out;
+}
+
+}  // namespace eid::logs

@@ -1,0 +1,114 @@
+#include "ml/linreg.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eid::ml {
+
+double LinearModel::predict(std::span<const double> features) const {
+  double acc = intercept;
+  const std::size_t p = std::min(features.size(), weights.size());
+  for (std::size_t i = 0; i < p; ++i) acc += weights[i] * features[i];
+  return acc;
+}
+
+bool LinearModel::is_significant(std::size_t feature, double t_threshold) const {
+  if (feature >= t_stats.size()) return false;
+  return std::abs(t_stats[feature]) >= t_threshold;
+}
+
+LinearModel fit_linear_regression(const Matrix& x, std::span<const double> y,
+                                  double fallback_ridge) {
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  LinearModel model;
+  model.n_samples = n;
+  if (n == 0 || n <= p) return model;
+
+  // Design matrix with an intercept column appended.
+  Matrix design(n, p + 1);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < p; ++c) design.at(r, c) = x.at(r, c);
+    design.at(r, p) = 1.0;
+  }
+
+  Matrix gram = design.gram();
+  std::vector<double> yvec(y.begin(), y.end());
+  const std::vector<double> xty = design.transpose_times(yvec);
+
+  Matrix lower;
+  if (!cholesky(gram, lower)) {
+    for (std::size_t i = 0; i <= p; ++i) gram.at(i, i) += fallback_ridge;
+    if (!cholesky(gram, lower)) return model;  // hopeless input
+  }
+  const std::vector<double> beta = cholesky_solve(lower, xty);
+
+  model.weights.assign(beta.begin(), beta.begin() + static_cast<long>(p));
+  model.intercept = beta[p];
+
+  // Residual variance and R^2.
+  const std::vector<double> fitted = design.times(beta);
+  double ss_res = 0.0;
+  double mean_y = 0.0;
+  for (const double v : yvec) mean_y += v;
+  mean_y /= static_cast<double>(n);
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = yvec[i] - fitted[i];
+    ss_res += r * r;
+    ss_tot += (yvec[i] - mean_y) * (yvec[i] - mean_y);
+  }
+  const std::size_t dof = n - (p + 1);
+  model.residual_variance = dof > 0 ? ss_res / static_cast<double>(dof) : 0.0;
+  model.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 0.0;
+
+  const Matrix inv = spd_inverse(lower);
+  model.std_errors.resize(p);
+  model.t_stats.resize(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    model.std_errors[i] = std::sqrt(std::max(0.0, model.residual_variance * inv.at(i, i)));
+    model.t_stats[i] =
+        model.std_errors[i] > 0.0 ? model.weights[i] / model.std_errors[i] : 0.0;
+  }
+  model.intercept_std_error =
+      std::sqrt(std::max(0.0, model.residual_variance * inv.at(p, p)));
+  return model;
+}
+
+void MinMaxScaler::fit(const Matrix& x) {
+  const std::size_t p = x.cols();
+  mins_.assign(p, 0.0);
+  maxs_.assign(p, 0.0);
+  for (std::size_t c = 0; c < p; ++c) {
+    double lo = x.rows() > 0 ? x.at(0, c) : 0.0;
+    double hi = lo;
+    for (std::size_t r = 1; r < x.rows(); ++r) {
+      lo = std::min(lo, x.at(r, c));
+      hi = std::max(hi, x.at(r, c));
+    }
+    mins_[c] = lo;
+    maxs_[c] = hi;
+  }
+}
+
+Matrix MinMaxScaler::transform(const Matrix& x) const {
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      const double range = maxs_[c] - mins_[c];
+      out.at(r, c) = range > 0.0
+                         ? std::clamp((x.at(r, c) - mins_[c]) / range, 0.0, 1.0)
+                         : 0.5;
+    }
+  }
+  return out;
+}
+
+void MinMaxScaler::transform_row(std::span<double> row) const {
+  for (std::size_t c = 0; c < row.size() && c < mins_.size(); ++c) {
+    const double range = maxs_[c] - mins_[c];
+    row[c] = range > 0.0 ? std::clamp((row[c] - mins_[c]) / range, 0.0, 1.0) : 0.5;
+  }
+}
+
+}  // namespace eid::ml

@@ -1,0 +1,75 @@
+// Ordinary least squares with per-coefficient significance — the stand-in
+// for the R `lm` fit the paper uses to weight the C&C and domain-similarity
+// features (§IV-C, §IV-D). The paper inspects coefficient signs (DomAge is
+// negatively correlated with reported domains) and drops low-significance
+// features (AutoHosts, IP16); both workflows are supported here through the
+// t-statistics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace eid::ml {
+
+/// A fitted linear model y ~ intercept + X * weights.
+struct LinearModel {
+  double intercept = 0.0;
+  std::vector<double> weights;      ///< one per feature
+  std::vector<double> std_errors;   ///< std error per weight (intercept last)
+  std::vector<double> t_stats;      ///< weight / std_error
+  double intercept_std_error = 0.0;
+  double r_squared = 0.0;
+  double residual_variance = 0.0;
+  std::size_t n_samples = 0;
+
+  /// Predicted score for one feature row.
+  double predict(std::span<const double> features) const;
+
+  /// |t| >= threshold, the paper's informal "significant" cut. Index is the
+  /// feature position.
+  bool is_significant(std::size_t feature, double t_threshold = 2.0) const;
+};
+
+/// Fit OLS via normal equations + Cholesky. `x` is n x p, `y` has n entries.
+/// A tiny ridge (`lambda`) is added only if X'X is numerically singular
+/// (e.g. a constant feature column), so well-posed fits are exact OLS.
+/// Requires n > p. Returns the fitted model.
+LinearModel fit_linear_regression(const Matrix& x, std::span<const double> y,
+                                  double fallback_ridge = 1e-8);
+
+/// Feature scaling to [0, 1] per column, fitted on training data; the paper's
+/// domain scores live on a bounded scale so thresholds like 0.4 are
+/// comparable across features.
+class MinMaxScaler {
+ public:
+  /// Learn per-column min/max. Constant columns map to 0.5.
+  void fit(const Matrix& x);
+
+  /// Scale a matrix (same column count as fitted).
+  Matrix transform(const Matrix& x) const;
+
+  /// Scale one row in place.
+  void transform_row(std::span<double> row) const;
+
+  std::size_t n_features() const { return mins_.size(); }
+
+  /// Fitted bounds (persistence).
+  const std::vector<double>& mins() const { return mins_; }
+  const std::vector<double>& maxs() const { return maxs_; }
+
+  /// Restore from persisted bounds. Vectors must be the same length.
+  void restore(std::vector<double> mins, std::vector<double> maxs) {
+    mins_ = std::move(mins);
+    maxs_ = std::move(maxs);
+  }
+
+ private:
+  std::vector<double> mins_;
+  std::vector<double> maxs_;
+};
+
+}  // namespace eid::ml

@@ -1,0 +1,88 @@
+#include "ml/matrix.h"
+
+#include <cmath>
+
+namespace eid::ml {
+
+Matrix Matrix::gram() const {
+  Matrix g(cols_, cols_);
+  for (std::size_t i = 0; i < cols_; ++i) {
+    for (std::size_t j = i; j < cols_; ++j) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < rows_; ++r) acc += at(r, i) * at(r, j);
+      g.at(i, j) = acc;
+      g.at(j, i) = acc;
+    }
+  }
+  return g;
+}
+
+std::vector<double> Matrix::transpose_times(const std::vector<double>& v) const {
+  std::vector<double> out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out[c] += at(r, c) * v[r];
+  }
+  return out;
+}
+
+std::vector<double> Matrix::times(const std::vector<double>& v) const {
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += at(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+bool cholesky(const Matrix& a, Matrix& lower) {
+  const std::size_t n = a.rows();
+  lower = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = a.at(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= lower.at(i, k) * lower.at(j, k);
+      if (i == j) {
+        if (acc <= 0.0) return false;
+        lower.at(i, i) = std::sqrt(acc);
+      } else {
+        lower.at(i, j) = acc / lower.at(j, j);
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<double> cholesky_solve(const Matrix& lower,
+                                   const std::vector<double>& b) {
+  const std::size_t n = lower.rows();
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= lower.at(i, k) * y[k];
+    y[i] = acc / lower.at(i, i);
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double acc = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) acc -= lower.at(k, i) * x[k];
+    x[i] = acc / lower.at(i, i);
+  }
+  return x;
+}
+
+Matrix spd_inverse(const Matrix& lower) {
+  const std::size_t n = lower.rows();
+  Matrix inv(n, n);
+  std::vector<double> unit(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    unit.assign(n, 0.0);
+    unit[c] = 1.0;
+    const auto column = cholesky_solve(lower, unit);
+    for (std::size_t r = 0; r < n; ++r) inv.at(r, c) = column[r];
+  }
+  return inv;
+}
+
+}  // namespace eid::ml

@@ -1,0 +1,51 @@
+// Minimal dense linear algebra for the regression models. The paper trains
+// two small linear models (6 and 8 features), so an O(p^3) Cholesky on the
+// normal equations is exact and fast; no external BLAS is needed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace eid::ml {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// this^T * this  (the Gram matrix X'X).
+  Matrix gram() const;
+
+  /// this^T * v for a vector with rows() entries.
+  std::vector<double> transpose_times(const std::vector<double>& v) const;
+
+  /// this * v for a vector with cols() entries.
+  std::vector<double> times(const std::vector<double>& v) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Cholesky factorization of a symmetric positive-definite matrix; returns
+/// false if the matrix is not (numerically) positive definite.
+/// On success `lower` holds L with A = L L^T.
+bool cholesky(const Matrix& a, Matrix& lower);
+
+/// Solve A x = b given the Cholesky factor L of A.
+std::vector<double> cholesky_solve(const Matrix& lower, const std::vector<double>& b);
+
+/// Inverse of an SPD matrix via its Cholesky factor (used for coefficient
+/// standard errors, which need diag((X'X)^-1)).
+Matrix spd_inverse(const Matrix& lower);
+
+}  // namespace eid::ml

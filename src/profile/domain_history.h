@@ -1,0 +1,70 @@
+// Incremental history of external destinations (§III-A, §IV-A): the system
+// bootstraps over a training month, then updates daily. A destination is
+// "new" on a day when it is absent from the history, and "unpopular" when
+// fewer than a threshold of distinct internal hosts contacted it that day.
+// New AND unpopular => "rare destination", the starting point of detection.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/day_graph.h"
+#include "util/time.h"
+
+namespace eid::profile {
+
+/// Set of (folded) domains ever contacted by internal hosts.
+class DomainHistory {
+ public:
+  /// True when the history has never seen the domain.
+  bool is_new(std::string_view domain) const {
+    return !seen_.contains(std::string(domain));
+  }
+
+  /// Record a day's distinct domains. Call at end-of-day so the day's own
+  /// traffic does not mask its new destinations.
+  void update(const std::vector<std::string>& domains) {
+    for (const auto& d : domains) seen_.insert(d);
+    ++days_ingested_;
+  }
+
+  void update_one(std::string_view domain) { seen_.insert(std::string(domain)); }
+
+  std::size_t size() const { return seen_.size(); }
+  std::size_t days_ingested() const { return days_ingested_; }
+
+  /// Full domain set (persistence, diagnostics).
+  const std::unordered_set<std::string>& domains() const { return seen_; }
+
+  /// Restore from persisted state, replacing current contents.
+  void restore(std::unordered_set<std::string> domains, std::size_t days) {
+    seen_ = std::move(domains);
+    days_ingested_ = days;
+  }
+
+ private:
+  std::unordered_set<std::string> seen_;
+  std::size_t days_ingested_ = 0;
+};
+
+/// Result of rare-destination extraction for one day.
+struct RareExtraction {
+  std::vector<graph::DomainId> rare_domains;  ///< new && unpopular, sorted
+  std::size_t new_domains = 0;                ///< new regardless of popularity
+  std::size_t total_domains = 0;
+};
+
+/// Extract the day's rare destinations from its graph. `popularity_threshold`
+/// is the maximum distinct-host count for "unpopular" (the paper uses 10,
+/// chosen with enterprise security professionals).
+RareExtraction extract_rare_destinations(const graph::DayGraph& graph,
+                                         const DomainHistory& history,
+                                         std::size_t popularity_threshold = 10);
+
+/// End-of-day history update from a finalized graph.
+void update_history(DomainHistory& history, const graph::DayGraph& graph);
+
+}  // namespace eid::profile

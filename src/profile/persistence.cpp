@@ -1,0 +1,112 @@
+#include "profile/persistence.h"
+
+#include <charconv>
+#include <fstream>
+
+#include "util/strings.h"
+
+namespace eid::profile {
+namespace {
+
+constexpr std::string_view kDomainMagic = "eid-domain-history 1";
+constexpr std::string_view kUaMagic = "eid-ua-history 1";
+
+bool parse_size(std::string_view text, std::size_t& out) {
+  const auto* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), end, out);
+  return ec == std::errc() && ptr == end;
+}
+
+}  // namespace
+
+bool save_domain_history(const DomainHistory& history,
+                         const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << kDomainMagic << '\n';
+  out << "days " << history.days_ingested() << '\n';
+  for (const auto& domain : history.domains()) out << domain << '\n';
+  return static_cast<bool>(out);
+}
+
+std::optional<DomainHistory> load_domain_history(
+    const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line) || line != kDomainMagic) return std::nullopt;
+  if (!std::getline(in, line)) return std::nullopt;
+  const auto header = util::split(line, ' ');
+  std::size_t days = 0;
+  if (header.size() != 2 || header[0] != "days" || !parse_size(header[1], days)) {
+    return std::nullopt;
+  }
+  std::unordered_set<std::string> domains;
+  while (std::getline(in, line)) {
+    if (!line.empty()) domains.insert(line);
+  }
+  DomainHistory history;
+  history.restore(std::move(domains), days);
+  return history;
+}
+
+bool save_ua_history(const UaHistory& history,
+                     const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << kUaMagic << '\n';
+  out << "threshold " << history.rare_threshold() << '\n';
+  bool ok = true;
+  history.for_each_entry([&](const std::string& ua, bool popular,
+                             const std::unordered_set<std::string>& hosts) {
+    // UA strings containing control characters cannot round-trip through
+    // the line format; skip them (they are pathological inputs anyway).
+    if (ua.find('\t') != std::string::npos || ua.find('\n') != std::string::npos) {
+      return;
+    }
+    if (popular) {
+      out << "P\t" << ua << '\n';
+    } else {
+      out << "R\t" << ua;
+      for (const auto& host : hosts) out << '\t' << host;
+      out << '\n';
+    }
+    ok = ok && static_cast<bool>(out);
+  });
+  return ok && static_cast<bool>(out);
+}
+
+std::optional<UaHistory> load_ua_history(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line) || line != kUaMagic) return std::nullopt;
+  if (!std::getline(in, line)) return std::nullopt;
+  const auto header = util::split(line, ' ');
+  std::size_t threshold = 0;
+  if (header.size() != 2 || header[0] != "threshold" ||
+      !parse_size(header[1], threshold) || threshold == 0) {
+    return std::nullopt;
+  }
+  UaHistory history(threshold);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = util::split(line, '\t');
+    if (fields.size() < 2 || fields[1].empty()) return std::nullopt;
+    const std::string ua(fields[1]);
+    if (fields[0] == "P") {
+      history.restore_entry(ua, true, {});
+    } else if (fields[0] == "R") {
+      std::unordered_set<std::string> hosts;
+      for (std::size_t i = 2; i < fields.size(); ++i) {
+        hosts.insert(std::string(fields[i]));
+      }
+      history.restore_entry(ua, false, std::move(hosts));
+    } else {
+      return std::nullopt;
+    }
+  }
+  return history;
+}
+
+}  // namespace eid::profile

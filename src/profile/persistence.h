@@ -1,0 +1,37 @@
+// Persistence for the incrementally-maintained profiles (§III-E: histories
+// are "initialized during a bootstrapping period ... then updated
+// incrementally daily"). A production deployment restarts between daily
+// batches, so the domain and UA histories round-trip through simple
+// line-oriented files:
+//
+//   eid-domain-history 1
+//   days <n>
+//   <domain>            (one per line)
+//
+//   eid-ua-history 1
+//   threshold <n>
+//   P\t<ua>             (popular UA)
+//   R\t<ua>\t<host>...  (rare UA with its observed hosts, tab separated)
+#pragma once
+
+#include <filesystem>
+#include <optional>
+
+#include "profile/domain_history.h"
+#include "profile/ua_history.h"
+
+namespace eid::profile {
+
+/// Write the history; returns false on I/O failure.
+bool save_domain_history(const DomainHistory& history,
+                         const std::filesystem::path& path);
+
+/// Load a history; nullopt on missing file, bad magic or malformed content.
+std::optional<DomainHistory> load_domain_history(
+    const std::filesystem::path& path);
+
+bool save_ua_history(const UaHistory& history, const std::filesystem::path& path);
+
+std::optional<UaHistory> load_ua_history(const std::filesystem::path& path);
+
+}  // namespace eid::profile

@@ -1,0 +1,43 @@
+#include "profile/top_sites.h"
+
+#include <fstream>
+
+#include "util/strings.h"
+
+namespace eid::profile {
+
+void TopSitesList::add(std::string_view domain) {
+  sites_.insert(util::to_lower(util::trim(domain)));
+}
+
+std::size_t TopSitesList::load(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) return 0;
+  std::size_t loaded = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    // Alexa CSV shape: "123,example.com" — keep what follows the comma.
+    const auto comma = trimmed.rfind(',');
+    const std::string_view domain =
+        comma == std::string_view::npos ? trimmed : trimmed.substr(comma + 1);
+    if (domain.empty()) continue;
+    add(domain);
+    ++loaded;
+  }
+  return loaded;
+}
+
+std::vector<graph::DomainId> filter_top_sites(
+    const graph::DayGraph& graph, const std::vector<graph::DomainId>& rare,
+    const TopSitesList& top_sites) {
+  std::vector<graph::DomainId> out;
+  out.reserve(rare.size());
+  for (const graph::DomainId domain : rare) {
+    if (!top_sites.contains(graph.domain_name(domain))) out.push_back(domain);
+  }
+  return out;
+}
+
+}  // namespace eid::profile

@@ -1,0 +1,46 @@
+// Global-popularity whitelist (§II-A): among 14,915 IOCs collected by a
+// large enterprise's SOC over three years, *none* appeared in the Alexa
+// top one million. Attackers avoid popular, well-administered domains, so
+// a top-sites list is a cheap precision filter applied after rare-
+// destination extraction: a domain that is globally popular but new to
+// this enterprise (a fresh CDN edge, a regional news site) is dropped
+// before scoring.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/day_graph.h"
+
+namespace eid::profile {
+
+class TopSitesList {
+ public:
+  /// Add one (folded) domain.
+  void add(std::string_view domain);
+
+  bool contains(std::string_view domain) const {
+    return sites_.contains(std::string(domain));
+  }
+
+  std::size_t size() const { return sites_.size(); }
+
+  /// Load an Alexa-style file: one domain per line, optionally prefixed
+  /// with "rank," (the Alexa CSV shape). '#' comments and blank lines are
+  /// skipped. Returns the number of domains loaded, 0 if unreadable.
+  std::size_t load(const std::filesystem::path& path);
+
+ private:
+  std::unordered_set<std::string> sites_;
+};
+
+/// Drop rare-domain ids whose name is on the top-sites list; preserves
+/// input order of the survivors.
+std::vector<graph::DomainId> filter_top_sites(
+    const graph::DayGraph& graph, const std::vector<graph::DomainId>& rare,
+    const TopSitesList& top_sites);
+
+}  // namespace eid::profile

@@ -1,0 +1,34 @@
+#include "profile/ua_history.h"
+
+namespace eid::profile {
+
+void UaHistory::observe(std::string_view ua, std::string_view host) {
+  if (ua.empty()) return;
+  Entry& entry = uas_[std::string(ua)];
+  if (entry.popular) return;
+  entry.hosts.insert(std::string(host));
+  if (entry.hosts.size() >= rare_threshold_) {
+    entry.popular = true;
+    entry.hosts.clear();  // popularity is all we need from now on
+  }
+}
+
+void UaHistory::observe_day(const std::vector<logs::ConnEvent>& events) {
+  for (const auto& event : events) {
+    if (event.has_http_context) observe(event.user_agent, event.host);
+  }
+}
+
+bool UaHistory::is_rare(std::string_view ua) const {
+  auto it = uas_.find(std::string(ua));
+  if (it == uas_.end()) return true;
+  return !it->second.popular;
+}
+
+std::size_t UaHistory::host_count(std::string_view ua) const {
+  auto it = uas_.find(std::string(ua));
+  if (it == uas_.end()) return 0;
+  return it->second.popular ? rare_threshold_ : it->second.hosts.size();
+}
+
+}  // namespace eid::profile

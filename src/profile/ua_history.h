@@ -1,0 +1,69 @@
+// User-agent profiling (§IV-C): enterprise software populations are
+// homogeneous, so a UA string used by very few hosts hints at unpopular —
+// possibly malicious — software. The history counts, per UA, the distinct
+// hosts that ever used it; a UA is "rare" when that count stays below a
+// threshold (10, per SOC recommendation). Distinct-host sets are capped at
+// the threshold: once a UA is popular we only need to know it is popular.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "logs/records.h"
+
+namespace eid::profile {
+
+class UaHistory {
+ public:
+  explicit UaHistory(std::size_t rare_threshold = 10)
+      : rare_threshold_(rare_threshold) {}
+
+  /// Record that `host` used `ua`. Empty UA strings are ignored (tracked
+  /// separately as the NoUA signal by the feature layer).
+  void observe(std::string_view ua, std::string_view host);
+
+  /// Convenience: ingest every UA-bearing event of a day.
+  void observe_day(const std::vector<logs::ConnEvent>& events);
+
+  /// True when the UA has been used by fewer than the threshold of hosts.
+  /// Unknown UAs are rare by definition.
+  bool is_rare(std::string_view ua) const;
+
+  /// Distinct hosts seen for a UA, saturating at the rare threshold.
+  std::size_t host_count(std::string_view ua) const;
+
+  std::size_t distinct_uas() const { return uas_.size(); }
+  std::size_t rare_threshold() const { return rare_threshold_; }
+
+  /// Visit every entry: fn(ua, popular, hosts). Hosts is empty for popular
+  /// UAs (the set is dropped once popularity is established).
+  template <typename Fn>
+  void for_each_entry(Fn&& fn) const {
+    for (const auto& [ua, entry] : uas_) {
+      fn(ua, entry.popular, entry.hosts);
+    }
+  }
+
+  /// Restore one persisted entry (replaces any existing state for `ua`).
+  void restore_entry(const std::string& ua, bool popular,
+                     std::unordered_set<std::string> hosts) {
+    Entry entry;
+    entry.popular = popular;
+    if (!popular) entry.hosts = std::move(hosts);
+    uas_[ua] = std::move(entry);
+  }
+
+ private:
+  struct Entry {
+    std::unordered_set<std::string> hosts;  ///< capped at rare_threshold_
+    bool popular = false;
+  };
+  std::unordered_map<std::string, Entry> uas_;
+  std::size_t rare_threshold_;
+};
+
+}  // namespace eid::profile

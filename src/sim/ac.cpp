@@ -1,0 +1,26 @@
+#include "sim/ac.h"
+
+namespace eid::sim {
+
+AcScenario::AcScenario(AcConfig config) {
+  SimConfig sim_config;
+  sim_config.flavor = Flavor::Proxy;
+  sim_config.seed = config.seed;
+  sim_config.day0 = training_begin();
+  sim_config.n_hosts = config.n_hosts;
+  sim_config.n_popular = config.n_popular;
+  sim_config.tail_per_day = config.tail_per_day;
+  sim_config.automated_tail_per_day = config.automated_tail_per_day;
+  sim_config.grayware_per_day = config.grayware_per_day;
+
+  util::Rng rng(config.seed ^ 0xac);
+  const int n_days =
+      static_cast<int>(operation_end() - training_begin()) + 1;
+  std::vector<CampaignSpec> specs = generate_campaign_schedule(
+      rng, training_begin(), n_days, config.campaigns_per_week);
+
+  sim_ = std::make_unique<EnterpriseSimulator>(sim_config, std::move(specs));
+  oracle_ = std::make_unique<IntelOracle>(sim_->truth(), config.oracle);
+}
+
+}  // namespace eid::sim

@@ -1,0 +1,58 @@
+#include "sim/campaign.h"
+
+namespace eid::sim {
+
+std::vector<CampaignSpec> generate_campaign_schedule(util::Rng& rng,
+                                                     util::Day day0, int n_days,
+                                                     double campaigns_per_week,
+                                                     int first_id) {
+  std::vector<CampaignSpec> out;
+  int id = first_id;
+  const double daily_rate = campaigns_per_week / 7.0;
+  for (int d = 0; d < n_days; ++d) {
+    // Bernoulli-thinned schedule; supports fractional weekly rates.
+    int starts = 0;
+    double rate = daily_rate;
+    while (rate >= 1.0) {
+      ++starts;
+      rate -= 1.0;
+    }
+    if (rng.chance(rate)) ++starts;
+    for (int s = 0; s < starts; ++s) {
+      CampaignSpec spec;
+      spec.id = id++;
+      spec.start_day = day0 + d;
+      spec.duration_days = 4 + static_cast<int>(rng.uniform(24));
+      spec.n_victims = 1 + rng.index(3);
+      spec.delivery_chain = 2 + rng.index(3);
+      spec.n_cc = 1 + rng.index(2);
+      spec.second_stage = rng.index(3);
+      // Beacon periods from ~2 minutes to 2 hours (§II-A: "minutes or hours").
+      static constexpr double kPeriods[] = {120, 300, 600, 900, 1800, 3600, 7200};
+      spec.cc_period_seconds = kPeriods[rng.index(std::size(kPeriods))];
+      // Backdoors add a few seconds of jitter between connections (§II-A:
+      // "small variation between connections") — small in absolute terms,
+      // which is what the W = 10 s dynamic bins are sized to absorb.
+      spec.jitter_seconds = rng.uniform_double(0.3, 2.5);
+      spec.outlier_prob = rng.uniform_double(0.0, 0.03);
+      const double style = rng.uniform_double();
+      if (style < 0.45) {
+        spec.name_style = CampaignNameStyle::Benign;
+      } else if (style < 0.65) {
+        spec.name_style = CampaignNameStyle::ShortDga;
+        spec.registered_fraction = 0.5;
+      } else if (style < 0.8) {
+        spec.name_style = CampaignNameStyle::LongDga;
+        spec.registered_fraction = 0.4;
+        spec.late_registration = true;
+      } else {
+        spec.name_style = CampaignNameStyle::RuCc;
+      }
+      spec.malware_empty_ua = rng.chance(0.35);
+      out.push_back(spec);
+    }
+  }
+  return out;
+}
+
+}  // namespace eid::sim

@@ -1,0 +1,61 @@
+// Attack campaign model (§II-A): delivery -> foothold -> C&C.
+//
+// On the start day each victim walks a short delivery chain (several
+// attacker domains visited within seconds to minutes — the redirection
+// pattern of Fig. 3), installs the backdoor, and begins beaconing to the
+// C&C domain at a fixed period with small jitter and occasional outliers
+// (the randomization the dynamic histogram must absorb). On later days the
+// backdoor keeps beaconing and occasionally pulls second-stage payloads
+// from additional campaign domains. All campaign domains are recently
+// registered (or deliberately unregistered DGA names) and co-located in a
+// small number of IP subnets.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace eid::sim {
+
+/// Naming style of campaign domains.
+enum class CampaignNameStyle {
+  Benign,    ///< pronounceable names (watering-hole style)
+  ShortDga,  ///< 4-5 char .info (paper §VI-C cluster)
+  LongDga,   ///< 20 hex char .info (paper §VI-D cluster)
+  RuCc,      ///< long .ru C&C names (paper Fig. 7)
+  Lanl,      ///< anonymized .c3 names (LANL flavor)
+};
+
+struct CampaignSpec {
+  int id = 0;
+  util::Day start_day = 0;
+  int duration_days = 1;
+  std::size_t n_victims = 1;
+  std::size_t delivery_chain = 3;  ///< delivery-stage domains
+  std::size_t n_cc = 1;            ///< C&C domains
+  std::size_t second_stage = 1;    ///< later-day payload domains
+  double cc_period_seconds = 600.0;
+  double jitter_seconds = 4.0;     ///< stddev of beacon jitter
+  double outlier_prob = 0.01;      ///< probability a beacon slot is skipped
+  CampaignNameStyle name_style = CampaignNameStyle::Benign;
+  bool malware_empty_ua = false;   ///< backdoor sends no UA (else a rare UA)
+  double registered_fraction = 1.0;  ///< DGA campaigns register only a part
+  /// When true, some domains are registered only AFTER the campaign starts
+  /// (the paper observed DGA domains detected before registration, §VI-D).
+  bool late_registration = false;
+};
+
+/// A schedule of enterprise-style campaigns over [day0, day0 + n_days):
+/// every few days a new campaign starts, with parameters drawn from
+/// realistic ranges (periods of minutes to hours, 1-3 victims, mixed
+/// naming styles). Deterministic in `rng`.
+std::vector<CampaignSpec> generate_campaign_schedule(util::Rng& rng,
+                                                     util::Day day0,
+                                                     int n_days,
+                                                     double campaigns_per_week,
+                                                     int first_id = 0);
+
+}  // namespace eid::sim

@@ -1,0 +1,37 @@
+#include "sim/export.h"
+
+#include "logs/files.h"
+
+namespace eid::sim {
+
+ExportStats export_dataset(EnterpriseSimulator& simulator, util::Day first_day,
+                           util::Day last_day,
+                           const std::filesystem::path& directory) {
+  ExportStats stats;
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) return stats;
+
+  const bool dns = simulator.config().flavor == Flavor::Dns;
+  for (util::Day day = first_day; day <= last_day; ++day) {
+    const DayLogs logs = simulator.simulate_day(day);
+    const std::string name =
+        (dns ? "dns-" : "proxy-") + util::format_day(day) + ".tsv";
+    const bool written =
+        dns ? logs::write_dns_file(directory / name, logs.dns)
+            : logs::write_proxy_file(directory / name, logs.proxy);
+    if (!written) return stats;
+    ++stats.days;
+    stats.records += dns ? logs.dns.size() : logs.proxy.size();
+  }
+
+  std::vector<logs::DhcpLease> leases;
+  simulator.dhcp().for_each_lease(
+      [&leases](const logs::DhcpLease& lease) { leases.push_back(lease); });
+  if (!logs::write_dhcp_file(directory / "dhcp.tsv", leases)) return stats;
+  stats.leases = leases.size();
+  stats.ok = true;
+  return stats;
+}
+
+}  // namespace eid::sim

@@ -1,0 +1,32 @@
+// Dataset export: materialize a simulated scenario as on-disk log files in
+// the same TSV formats the ingestion layer reads, so the full
+// read-from-disk production path (logs::read_*_file -> reduce -> detect)
+// can be exercised and datasets can be shared/re-analyzed without the
+// simulator.
+//
+// Layout under `directory`:
+//   dns-YYYY-MM-DD.tsv    (DNS flavor)
+//   proxy-YYYY-MM-DD.tsv  (proxy flavor)
+//   dhcp.tsv              (all leases issued over the exported range)
+#pragma once
+
+#include <filesystem>
+
+#include "sim/enterprise.h"
+
+namespace eid::sim {
+
+struct ExportStats {
+  std::size_t days = 0;
+  std::size_t records = 0;
+  std::size_t leases = 0;
+  bool ok = false;
+};
+
+/// Simulate and write [first_day, last_day] inclusive. Days must be
+/// simulated in order (DHCP leases accumulate chronologically).
+ExportStats export_dataset(EnterpriseSimulator& simulator,
+                           util::Day first_day, util::Day last_day,
+                           const std::filesystem::path& directory);
+
+}  // namespace eid::sim

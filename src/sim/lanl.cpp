@@ -1,0 +1,103 @@
+#include "sim/lanl.h"
+
+#include <array>
+
+namespace eid::sim {
+namespace {
+
+struct CaseDay {
+  int case_id;
+  int month_day;
+};
+
+// Table I of the paper.
+constexpr std::array<CaseDay, 20> kCaseDays = {{
+    {1, 2},  {1, 3},  {1, 4},  {1, 9},  {1, 10},
+    {2, 5},  {2, 6},  {2, 7},  {2, 8},  {2, 11}, {2, 12}, {2, 13},
+    {3, 14}, {3, 15}, {3, 17}, {3, 18}, {3, 19}, {3, 20}, {3, 21},
+    {4, 22},
+}};
+
+constexpr std::array<int, 10> kTrainingDays = {2, 3, 4, 5, 7, 12, 14, 15, 17, 18};
+
+}  // namespace
+
+bool LanlScenario::is_training_day(util::Day day) {
+  const util::CivilDate civil = util::civil_from_days(day);
+  if (civil.year != 2013 || civil.month != 3) return false;
+  for (const int d : kTrainingDays) {
+    if (civil.day == d) return true;
+  }
+  return false;
+}
+
+LanlScenario::LanlScenario(LanlConfig config) {
+  SimConfig sim_config;
+  sim_config.flavor = Flavor::Dns;
+  sim_config.seed = config.seed;
+  sim_config.day0 = bootstrap_begin();
+  sim_config.n_hosts = config.n_hosts;
+  sim_config.n_servers = config.n_servers;
+  sim_config.n_popular = config.n_popular;
+  sim_config.tail_per_day = config.tail_per_day;
+  sim_config.automated_tail_per_day = config.automated_tail_per_day;
+  sim_config.server_tail_per_day = config.server_tail_per_day;
+  sim_config.internal_suffix = "lanl.internal";
+
+  util::Rng rng(config.seed ^ 0x1a41);
+  std::vector<CampaignSpec> specs;
+  specs.reserve(kCaseDays.size());
+  static constexpr double kPeriods[] = {300, 600, 900, 1200};
+  for (std::size_t i = 0; i < kCaseDays.size(); ++i) {
+    CampaignSpec spec;
+    spec.id = static_cast<int>(i);
+    spec.start_day = util::make_day(2013, 3, kCaseDays[i].month_day);
+    spec.duration_days = 1;  // each simulation is a first-day infection
+    spec.name_style = CampaignNameStyle::Lanl;
+    spec.delivery_chain = 2 + rng.index(2);
+    spec.n_cc = 1;
+    spec.second_stage = 0;
+    // LANL simulations always compromise multiple hosts (§V-B), which the
+    // challenge-specific C&C heuristic relies on.
+    spec.n_victims = kCaseDays[i].case_id == 2 ? 3 + rng.index(2) : 2 + rng.index(2);
+    spec.cc_period_seconds = kPeriods[rng.index(std::size(kPeriods))];
+    // "Small variation between connections" (§II-A): about a second of
+    // jitter, comfortably inside the W = 10 s dynamic bins.
+    spec.jitter_seconds = rng.uniform_double(0.3, 1.5);
+    spec.outlier_prob = rng.uniform_double(0.0, 0.02);
+    spec.malware_empty_ua = true;  // DNS logs carry no UA anyway
+    specs.push_back(spec);
+  }
+
+  sim_ = std::make_unique<EnterpriseSimulator>(sim_config, specs);
+
+  for (std::size_t i = 0; i < kCaseDays.size(); ++i) {
+    const CampaignTruth* truth = sim_->truth().campaign(static_cast<int>(i));
+    LanlCase challenge_case;
+    challenge_case.case_id = kCaseDays[i].case_id;
+    challenge_case.campaign_id = static_cast<int>(i);
+    challenge_case.day = util::make_day(2013, 3, kCaseDays[i].month_day);
+    challenge_case.answer_domains = truth->domains;
+    challenge_case.victim_hosts = truth->victims;
+    challenge_case.training = is_training_day(challenge_case.day);
+    switch (challenge_case.case_id) {
+      case 1:
+      case 3:
+        challenge_case.hint_hosts = {truth->victims.front()};
+        break;
+      case 2: {
+        // Three or four hint hosts per Table I.
+        const std::size_t hints =
+            std::min<std::size_t>(truth->victims.size(), 3 + (i % 2));
+        challenge_case.hint_hosts.assign(truth->victims.begin(),
+                                         truth->victims.begin() + hints);
+        break;
+      }
+      case 4:
+        break;  // no hints
+    }
+    cases_.push_back(std::move(challenge_case));
+  }
+}
+
+}  // namespace eid::sim

@@ -1,0 +1,63 @@
+// The LANL challenge scenario (§V, Table I): anonymized DNS flavor, a
+// February 2013 bootstrap month, and 20 single-day APT infection campaigns
+// simulated across March 2013, split over the challenge's four cases:
+//   case 1 - one hint host, find the contacted malicious domains
+//   case 2 - several hint hosts
+//   case 3 - one hint host, also find the other compromised hosts
+//   case 4 - no hints at all (C&C detection must seed belief propagation)
+// Campaign days and the training/testing split follow §V-B of the paper.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/enterprise.h"
+
+namespace eid::sim {
+
+struct LanlCase {
+  int case_id = 1;  ///< 1..4, per Table I
+  int campaign_id = 0;
+  util::Day day = 0;
+  std::vector<std::string> hint_hosts;       ///< empty for case 4
+  std::vector<std::string> answer_domains;   ///< the challenge answers
+  std::vector<std::string> victim_hosts;     ///< full ground truth
+  bool training = false;                     ///< §V-B parameter-selection split
+};
+
+struct LanlConfig {
+  std::uint64_t seed = 7;
+  std::size_t n_hosts = 1000;
+  std::size_t n_servers = 12;
+  std::size_t n_popular = 400;
+  std::size_t tail_per_day = 300;
+  std::size_t automated_tail_per_day = 10;
+  std::size_t server_tail_per_day = 150;
+};
+
+class LanlScenario {
+ public:
+  explicit LanlScenario(LanlConfig config = {});
+
+  EnterpriseSimulator& simulator() { return *sim_; }
+  const EnterpriseSimulator& simulator() const { return *sim_; }
+
+  const std::vector<LanlCase>& cases() const { return cases_; }
+
+  /// Bootstrap month: February 2013.
+  util::Day bootstrap_begin() const { return util::make_day(2013, 2, 1); }
+  util::Day bootstrap_end() const { return util::make_day(2013, 2, 28); }
+
+  /// Challenge month: March 2013.
+  util::Day challenge_begin() const { return util::make_day(2013, 3, 1); }
+  util::Day challenge_end() const { return util::make_day(2013, 3, 22); }
+
+  /// The paper's training days (3/2 3/3 3/4 3/5 3/7 3/12 3/14 3/15 3/17 3/18).
+  static bool is_training_day(util::Day day);
+
+ private:
+  std::vector<LanlCase> cases_;
+  std::unique_ptr<EnterpriseSimulator> sim_;
+};
+
+}  // namespace eid::sim

@@ -1,0 +1,99 @@
+#include "sim/names.h"
+
+#include <array>
+#include <cstdio>
+
+namespace eid::sim {
+namespace {
+
+constexpr std::array<const char*, 16> kConsonants = {
+    "b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "ch", "sh"};
+constexpr std::array<const char*, 6> kVowels = {"a", "e", "i", "o", "u", "oo"};
+constexpr std::array<const char*, 5> kTlds = {".com", ".net", ".org", ".io", ".co"};
+
+}  // namespace
+
+std::string syllable_word(util::Rng& rng, std::size_t syllables) {
+  std::string out;
+  for (std::size_t i = 0; i < syllables; ++i) {
+    out += kConsonants[rng.index(kConsonants.size())];
+    out += kVowels[rng.index(kVowels.size())];
+  }
+  return out;
+}
+
+std::string benign_domain(util::Rng& rng) {
+  std::string name = syllable_word(rng, 2 + rng.index(2));
+  if (rng.chance(0.25)) name += syllable_word(rng, 1);
+  return name + kTlds[rng.index(kTlds.size())];
+}
+
+std::string lanl_domain(util::Rng& rng) {
+  return syllable_word(rng, 2 + rng.index(3)) + ".c3";
+}
+
+std::string short_dga_domain(util::Rng& rng) {
+  static constexpr char kChars[] = "bcdfghjklmnpqrstvwxz";
+  std::string name;
+  const std::size_t len = 4 + rng.index(2);
+  for (std::size_t i = 0; i < len; ++i) {
+    name += kChars[rng.index(sizeof(kChars) - 1)];
+  }
+  return name + ".info";
+}
+
+std::string long_dga_domain(util::Rng& rng) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string name;
+  for (std::size_t i = 0; i < 20; ++i) name += kHex[rng.index(16)];
+  return name + ".info";
+}
+
+std::string ru_cc_domain(util::Rng& rng) {
+  return syllable_word(rng, 5 + rng.index(3)) + ".ru";
+}
+
+std::string workstation_name(std::size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "ws-%05zu.corp", index);
+  return buf;
+}
+
+std::string lanl_host_name(util::Rng& rng) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%llu.%llu.%llu.%llu",
+                static_cast<unsigned long long>(10 + rng.uniform(240)),
+                static_cast<unsigned long long>(rng.uniform(256)),
+                static_cast<unsigned long long>(rng.uniform(256)),
+                static_cast<unsigned long long>(1 + rng.uniform(254)));
+  return buf;
+}
+
+std::string browser_ua(util::Rng& rng) {
+  static constexpr std::array<const char*, 4> kOses = {
+      "Windows NT 6.1", "Windows NT 6.3", "Macintosh; Intel Mac OS X 10_9",
+      "X11; Linux x86_64"};
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "Mozilla/5.0 (%s) AppleWebKit/537.%llu (KHTML, like Gecko) "
+                "Chrome/%llu.0.%llu.%llu Safari/537.%llu",
+                kOses[rng.index(kOses.size())],
+                static_cast<unsigned long long>(30 + rng.uniform(10)),
+                static_cast<unsigned long long>(30 + rng.uniform(10)),
+                static_cast<unsigned long long>(1000 + rng.uniform(1000)),
+                static_cast<unsigned long long>(rng.uniform(200)),
+                static_cast<unsigned long long>(30 + rng.uniform(10)));
+  return buf;
+}
+
+std::string rare_ua(util::Rng& rng) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%sClient/%llu.%llu (build %04llx)",
+                syllable_word(rng, 2).c_str(),
+                static_cast<unsigned long long>(1 + rng.uniform(9)),
+                static_cast<unsigned long long>(rng.uniform(100)),
+                static_cast<unsigned long long>(rng.uniform(0xffff)));
+  return buf;
+}
+
+}  // namespace eid::sim

@@ -1,0 +1,47 @@
+// Deterministic name generation for the synthetic enterprise world:
+// pronounceable benign domains, DGA-style attack domains (both the short
+// .info 4-5 char style and the 20-char hex style the paper reports in
+// §VI-C/§VI-D), hostnames and user-agent strings.
+#pragma once
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace eid::sim {
+
+/// Pronounceable lowercase word of the given syllable count ("varonu").
+std::string syllable_word(util::Rng& rng, std::size_t syllables);
+
+/// Benign-looking registrable domain ("varonu.com", "kelora.net").
+std::string benign_domain(util::Rng& rng);
+
+/// Anonymized LANL-style domain: word plus the ".c3" pseudo-TLD used for
+/// flavor ("rainbow.c3").
+std::string lanl_domain(util::Rng& rng);
+
+/// Short DGA domain: 4-5 random consonant-heavy chars under .info
+/// ("mgwg.info"), matching the paper's first DGA cluster.
+std::string short_dga_domain(util::Rng& rng);
+
+/// Long DGA domain: 20 hex chars under .info
+/// ("f0371288e0a20a541328.info"), matching the second DGA cluster.
+std::string long_dga_domain(util::Rng& rng);
+
+/// Russian-zone style C&C name ("usteeptyshehoaboochu.ru").
+std::string ru_cc_domain(util::Rng& rng);
+
+/// Workstation hostname ("ws-01234.corp").
+std::string workstation_name(std::size_t index);
+
+/// Anonymized-IP style host identifier used in the LANL flavor
+/// ("74.92.144.170"-like, deterministic per index).
+std::string lanl_host_name(util::Rng& rng);
+
+/// Browser-like common UA string, parameterized for variety.
+std::string browser_ua(util::Rng& rng);
+
+/// Rare / niche software UA string ("UpdaterClient/3.41 (build 7c2f)").
+std::string rare_ua(util::Rng& rng);
+
+}  // namespace eid::sim

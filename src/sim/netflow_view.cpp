@@ -1,0 +1,54 @@
+#include "sim/netflow_view.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace eid::sim {
+
+NetflowDay to_netflow(const DayLogs& proxy_day, const logs::DhcpTable& leases,
+                      const logs::ProxyReductionConfig& reduction) {
+  NetflowDay out;
+  out.flows.reserve(proxy_day.proxy.size());
+  std::unordered_map<std::string, int> offsets(
+      reduction.collector_utc_offsets.begin(),
+      reduction.collector_utc_offsets.end());
+  // One DNS lookup per (host, domain) first contact.
+  std::unordered_set<std::string> looked_up;
+
+  for (const logs::ProxyRecord& rec : proxy_day.proxy) {
+    if (rec.domain.empty() || !rec.dest_ip) continue;
+    util::TimePoint ts = rec.ts;
+    if (auto it = offsets.find(rec.collector); it != offsets.end()) {
+      ts -= it->second;  // flows are exported in UTC
+    }
+    std::string host = rec.hostname;
+    if (host.empty()) {
+      if (auto resolved = leases.resolve(rec.src_ip, ts)) {
+        host = *resolved;
+      } else {
+        host = rec.src_ip;
+      }
+    }
+    if (looked_up.insert(host + "|" + rec.domain).second) {
+      logs::DnsRecord lookup;
+      lookup.ts = ts - 1;  // resolution precedes the connection
+      lookup.src = host;
+      lookup.domain = rec.domain;
+      lookup.type = logs::DnsType::A;
+      lookup.response_ip = rec.dest_ip;
+      out.dns.push_back(std::move(lookup));
+    }
+    logs::FlowRecord flow;
+    flow.ts = ts;
+    flow.src = std::move(host);
+    flow.dst_ip = *rec.dest_ip;
+    flow.dst_port = rec.method == logs::HttpMethod::Connect ? 443 : 80;
+    flow.protocol = 6;
+    flow.bytes = 512 + rec.url_path.size() * 7;  // deterministic size proxy
+    flow.packets = 6;
+    out.flows.push_back(std::move(flow));
+  }
+  return out;
+}
+
+}  // namespace eid::sim

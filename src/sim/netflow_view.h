@@ -1,0 +1,27 @@
+// NetFlow view of a simulated proxy day: derives the flow + DNS telemetry a
+// border sensor would see for the same traffic. Each HTTP(S) request
+// becomes one TCP flow to port 80/443, preceded (on first contact of the
+// day) by the client's A lookup — which is what populates the passive-DNS
+// cache the flow reducer attributes against.
+#pragma once
+
+#include <vector>
+
+#include "logs/netflow.h"
+#include "sim/enterprise.h"
+
+namespace eid::sim {
+
+struct NetflowDay {
+  std::vector<logs::FlowRecord> flows;
+  std::vector<logs::DnsRecord> dns;  ///< the lookups preceding the flows
+};
+
+/// Convert one simulated proxy day. `resolve_host` controls whether the
+/// flow source is the resolved hostname (sensor integrated with DHCP) or
+/// the raw source address.
+NetflowDay to_netflow(const DayLogs& proxy_day,
+                      const logs::DhcpTable& leases,
+                      const logs::ProxyReductionConfig& reduction);
+
+}  // namespace eid::sim

@@ -1,0 +1,60 @@
+#include "sim/oracle.h"
+
+#include "util/rng.h"
+
+namespace eid::sim {
+
+double IntelOracle::unit_hash(const std::string& domain, std::uint64_t salt) const {
+  // FNV-1a over the name, then a splitmix64 finalizer: every character
+  // fully diffuses, so structurally-similar names ("gray1.com",
+  // "gray2.com") get independent draws.
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ params_.seed ^ (salt * 0x9e3779b9ULL);
+  for (const char c : domain) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<double>(util::splitmix64(h) >> 11) * 0x1.0p-53;
+}
+
+bool IntelOracle::vt_reported(const std::string& domain) const {
+  switch (truth_.label(domain)) {
+    case TruthLabel::Malicious:
+      return unit_hash(domain, 0x70) < params_.vt_malicious;
+    case TruthLabel::Grayware:
+      return unit_hash(domain, 0x70) < params_.vt_grayware;
+    case TruthLabel::Benign:
+      return false;
+  }
+  return false;
+}
+
+bool IntelOracle::soc_ioc(const std::string& domain) const {
+  if (!vt_reported(domain)) return false;
+  if (!truth_.is_malicious(domain)) return false;
+  return unit_hash(domain, 0x50c) < params_.ioc_given_vt;
+}
+
+std::vector<std::string> IntelOracle::ioc_domains_of_campaign(int campaign) const {
+  std::vector<std::string> out;
+  if (const CampaignTruth* truth = truth_.campaign(campaign)) {
+    for (const std::string& domain : truth->domains) {
+      if (soc_ioc(domain)) out.push_back(domain);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> IntelOracle::ioc_list(util::Day first_day,
+                                               util::Day last_day) const {
+  std::vector<std::string> out;
+  for (const auto& [id, campaign] : truth_.campaigns()) {
+    if (campaign.start_day + campaign.duration_days <= first_day) continue;
+    if (campaign.start_day > last_day) continue;
+    for (const std::string& domain : campaign.domains) {
+      if (soc_ioc(domain)) out.push_back(domain);
+    }
+  }
+  return out;
+}
+
+}  // namespace eid::sim

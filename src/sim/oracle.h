@@ -1,0 +1,55 @@
+// Partial-knowledge intelligence oracle — the substitute for VirusTotal and
+// the enterprise SOC's IOC list.
+//
+// The paper uses VirusTotal twice: as *training labels* for the regression
+// models ("reported" vs "legitimate" automated domains, §VI-A) and as part
+// of *validation* (known malicious vs new discoveries, §VI-B). Crucially VT
+// is incomplete — 98 of the paper's detections were unknown to VT — so the
+// oracle reports only a deterministic fraction of truly-malicious domains,
+// an even smaller fraction lands on the SOC IOC list, and a sliver of
+// grayware is reported too. Everything derives from ground truth + a hash,
+// so results are reproducible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/truth.h"
+
+namespace eid::sim {
+
+class IntelOracle {
+ public:
+  struct Params {
+    double vt_malicious = 0.65;  ///< P(VT reports | truly malicious)
+    double vt_grayware = 0.25;   ///< P(VT reports | grayware)
+    double ioc_given_vt = 0.2;   ///< P(on SOC IOC list | VT reports)
+    std::uint64_t seed = 0x1e7;
+  };
+
+  explicit IntelOracle(const GroundTruth& truth) : IntelOracle(truth, Params{}) {}
+  IntelOracle(const GroundTruth& truth, Params params)
+      : truth_(truth), params_(params) {}
+
+  /// True when at least one anti-virus engine "reports" the domain.
+  bool vt_reported(const std::string& domain) const;
+
+  /// True when the domain is on the SOC's IOC list.
+  bool soc_ioc(const std::string& domain) const;
+
+  /// All IOC domains of one campaign (seed material for SOC-hints mode).
+  std::vector<std::string> ioc_domains_of_campaign(int campaign) const;
+
+  /// All IOC domains across campaigns active in [first_day, last_day].
+  std::vector<std::string> ioc_list(util::Day first_day, util::Day last_day) const;
+
+  const GroundTruth& truth() const { return truth_; }
+
+ private:
+  double unit_hash(const std::string& domain, std::uint64_t salt) const;
+
+  const GroundTruth& truth_;
+  Params params_;
+};
+
+}  // namespace eid::sim

@@ -1,0 +1,30 @@
+#include "sim/whois_db.h"
+
+namespace eid::sim {
+
+void WhoisDb::add(const std::string& domain, util::Day registered,
+                  util::Day expires) {
+  records_[domain] = features::WhoisInfo{registered, expires};
+}
+
+bool WhoisDb::unparseable(const std::string& domain) const {
+  // FNV-1a + splitmix finalizer (see IntelOracle::unit_hash for rationale).
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ seed_;
+  for (const char c : domain) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  const double u =
+      static_cast<double>(util::splitmix64(h) >> 11) * 0x1.0p-53;
+  return u < unparseable_fraction_;
+}
+
+std::optional<features::WhoisInfo> WhoisDb::lookup(
+    const std::string& domain) const {
+  auto it = records_.find(domain);
+  if (it == records_.end()) return std::nullopt;
+  if (unparseable(domain)) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace eid::sim

@@ -1,0 +1,50 @@
+// Synthetic WHOIS registry (substitute for live WHOIS queries).
+// Every registered domain has a registration day and an expiry day; a
+// configurable fraction of records is "unparseable" (lookup fails), which
+// exercises the paper's average-value fallback (§VI-C). Unregistered
+// domains — e.g. most of a DGA cluster — simply have no record.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "features/whois_source.h"
+#include "util/rng.h"
+
+namespace eid::sim {
+
+class WhoisDb final : public features::WhoisSource {
+ public:
+  explicit WhoisDb(double unparseable_fraction = 0.05,
+                   std::uint64_t seed = 0x0441)
+      : unparseable_fraction_(unparseable_fraction), seed_(seed) {}
+
+  /// Register (or re-register) a domain.
+  void add(const std::string& domain, util::Day registered, util::Day expires);
+
+  /// Convenience: register with an age (days before `today`) and validity
+  /// (days after `today`).
+  void add_aged(const std::string& domain, util::Day today, std::int64_t age_days,
+                std::int64_t validity_days) {
+    add(domain, today - age_days, today + validity_days);
+  }
+
+  bool is_registered(const std::string& domain) const {
+    return records_.contains(domain);
+  }
+
+  /// Lookup with deterministic per-domain unparseable failures.
+  std::optional<features::WhoisInfo> lookup(const std::string& domain) const override;
+
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  bool unparseable(const std::string& domain) const;
+
+  std::unordered_map<std::string, features::WhoisInfo> records_;
+  double unparseable_fraction_;
+  std::uint64_t seed_;
+};
+
+}  // namespace eid::sim

@@ -1,0 +1,55 @@
+#include "timing/clustering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace eid::timing {
+
+std::vector<double> inter_connection_intervals(
+    std::span<const util::TimePoint> timestamps) {
+  std::vector<double> out;
+  if (timestamps.size() < 2) return out;
+  out.reserve(timestamps.size() - 1);
+  for (std::size_t i = 1; i < timestamps.size(); ++i) {
+    out.push_back(static_cast<double>(timestamps[i] - timestamps[i - 1]));
+  }
+  return out;
+}
+
+Histogram cluster_intervals(std::span<const double> intervals, double bin_width) {
+  Histogram h;
+  for (const double interval : intervals) {
+    Bin* best = nullptr;
+    double best_gap = bin_width;
+    for (Bin& bin : h.bins) {
+      const double gap = std::abs(interval - bin.hub);
+      if (gap <= best_gap) {
+        best_gap = gap;
+        best = &bin;
+      }
+    }
+    if (best != nullptr) {
+      ++best->count;
+    } else {
+      h.bins.push_back(Bin{interval, 1});
+    }
+  }
+  return h;
+}
+
+Histogram static_bins(std::span<const double> intervals, double bin_width) {
+  std::map<long long, std::size_t> counts;
+  for (const double interval : intervals) {
+    const long long index =
+        static_cast<long long>(std::floor(interval / bin_width));
+    ++counts[index];
+  }
+  Histogram h;
+  for (const auto& [index, count] : counts) {
+    h.bins.push_back(Bin{(static_cast<double>(index) + 0.5) * bin_width, count});
+  }
+  return h;
+}
+
+}  // namespace eid::timing

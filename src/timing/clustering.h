@@ -1,0 +1,29 @@
+// Dynamic histogram binning (§IV-C): inter-connection intervals are
+// clustered around "hubs" — the first interval seeds the first hub, each
+// subsequent interval joins a cluster whose hub is within W seconds,
+// otherwise it seeds a new cluster. Cluster hubs become histogram bins,
+// which makes the divergence test robust to small attacker-introduced
+// jitter without the alignment artifacts of statically defined bins.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "timing/histogram.h"
+#include "util/time.h"
+
+namespace eid::timing {
+
+/// Successive differences t[i+1] - t[i] of a sorted timestamp sequence.
+std::vector<double> inter_connection_intervals(
+    std::span<const util::TimePoint> timestamps);
+
+/// Cluster intervals with the hub rule above; returns one bin per cluster in
+/// hub creation order. `bin_width` is the W parameter of the paper.
+Histogram cluster_intervals(std::span<const double> intervals, double bin_width);
+
+/// Statically binned histogram (fixed-width bins anchored at zero) — the
+/// strawman the paper argues against; kept for the ablation benchmark.
+Histogram static_bins(std::span<const double> intervals, double bin_width);
+
+}  // namespace eid::timing

@@ -1,0 +1,78 @@
+#include "timing/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace eid::timing {
+namespace {
+
+// Pair up bins from both histograms by hub (within tolerance) and return
+// (freq_in_h, freq_in_k) rows over the union of bins.
+std::vector<std::pair<double, double>> aligned_frequencies(const Histogram& h,
+                                                           const Histogram& k,
+                                                           double tol) {
+  const double nh = static_cast<double>(h.total_count());
+  const double nk = static_cast<double>(k.total_count());
+  std::vector<std::pair<double, double>> rows;
+  rows.reserve(h.bins.size() + k.bins.size());
+  std::vector<bool> used_k(k.bins.size(), false);
+  for (const Bin& hb : h.bins) {
+    double kfreq = 0.0;
+    for (std::size_t j = 0; j < k.bins.size(); ++j) {
+      if (!used_k[j] && std::abs(k.bins[j].hub - hb.hub) <= tol) {
+        kfreq = nk > 0 ? static_cast<double>(k.bins[j].count) / nk : 0.0;
+        used_k[j] = true;
+        break;
+      }
+    }
+    rows.emplace_back(nh > 0 ? static_cast<double>(hb.count) / nh : 0.0, kfreq);
+  }
+  for (std::size_t j = 0; j < k.bins.size(); ++j) {
+    if (!used_k[j]) {
+      rows.emplace_back(0.0,
+                        nk > 0 ? static_cast<double>(k.bins[j].count) / nk : 0.0);
+    }
+  }
+  return rows;
+}
+
+double xlogx_over(double x, double m) {
+  if (x <= 0.0 || m <= 0.0) return 0.0;
+  return x * std::log(x / m);
+}
+
+}  // namespace
+
+const Bin& Histogram::top_bin() const {
+  return *std::max_element(bins.begin(), bins.end(), [](const Bin& a, const Bin& b) {
+    if (a.count != b.count) return a.count < b.count;
+    return a.hub > b.hub;  // prefer the smaller hub on ties
+  });
+}
+
+Histogram periodic_reference(double period) {
+  Histogram h;
+  h.bins.push_back(Bin{period, 1});
+  return h;
+}
+
+double jeffrey_divergence(const Histogram& h, const Histogram& k,
+                          double hub_tolerance) {
+  double d = 0.0;
+  for (const auto& [hf, kf] : aligned_frequencies(h, k, hub_tolerance)) {
+    const double m = (hf + kf) / 2.0;
+    d += xlogx_over(hf, m) + xlogx_over(kf, m);
+  }
+  return d;
+}
+
+double l1_distance(const Histogram& h, const Histogram& k, double hub_tolerance) {
+  double d = 0.0;
+  for (const auto& [hf, kf] : aligned_frequencies(h, k, hub_tolerance)) {
+    d += std::abs(hf - kf);
+  }
+  return d;
+}
+
+}  // namespace eid::timing

@@ -1,0 +1,50 @@
+// Histograms over inter-connection intervals and the Jeffrey divergence
+// (§IV-C). Bins are identified by their cluster "hub" value; divergence is
+// computed over the union of bins of the two histograms, treating absent
+// bins as zero mass (with the 0*log(0) = 0 convention).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace eid::timing {
+
+/// One histogram bin: the representative interval value ("hub", seconds)
+/// and the number of observations assigned to it.
+struct Bin {
+  double hub = 0.0;
+  std::size_t count = 0;
+};
+
+/// A frequency histogram over interval bins. Invariant: bins have count > 0.
+struct Histogram {
+  std::vector<Bin> bins;
+
+  std::size_t total_count() const {
+    std::size_t n = 0;
+    for (const Bin& b : bins) n += b.count;
+    return n;
+  }
+
+  /// The bin with the highest count (ties: smaller hub). Requires non-empty.
+  const Bin& top_bin() const;
+};
+
+/// A reference histogram for a perfectly periodic process with the given
+/// period: all mass in a single bin at `period`.
+Histogram periodic_reference(double period);
+
+/// Jeffrey divergence between two frequency histograms (Rubner et al.):
+///   d_J(H, K) = sum_i [ h_i log(h_i / m_i) + k_i log(k_i / m_i) ],
+/// with m_i = (h_i + k_i) / 2 over normalized frequencies, natural log.
+/// Bins are matched by hub equality within `hub_tolerance` seconds.
+/// Symmetric, non-negative, zero iff the normalized histograms coincide.
+double jeffrey_divergence(const Histogram& h, const Histogram& k,
+                          double hub_tolerance = 1e-9);
+
+/// L1 (total variation style) distance between normalized histograms, used
+/// in the paper as a sanity-check alternative metric.
+double l1_distance(const Histogram& h, const Histogram& k,
+                   double hub_tolerance = 1e-9);
+
+}  // namespace eid::timing

@@ -1,0 +1,181 @@
+#include "timing/periodicity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "timing/clustering.h"
+
+namespace eid::timing {
+
+AutomationResult PeriodicityDetector::test(
+    std::span<const util::TimePoint> timestamps) const {
+  return test_intervals(inter_connection_intervals(timestamps));
+}
+
+AutomationResult PeriodicityDetector::test_intervals(
+    std::span<const double> intervals) const {
+  AutomationResult result;
+  result.interval_count = intervals.size();
+  if (intervals.size() < params_.min_intervals) return result;
+  const Histogram h = cluster_intervals(intervals, params_.bin_width_seconds);
+  const Bin& top = h.top_bin();
+  const Histogram reference = periodic_reference(top.hub);
+  result.period = top.hub;
+  result.divergence = params_.metric == HistogramMetric::Jeffrey
+                          ? jeffrey_divergence(h, reference)
+                          : l1_distance(h, reference);
+  result.automated = result.divergence <= params_.jeffrey_threshold;
+  return result;
+}
+
+AutomationResult StdDevDetector::test(
+    std::span<const util::TimePoint> timestamps) const {
+  AutomationResult result;
+  const auto intervals = inter_connection_intervals(timestamps);
+  result.interval_count = intervals.size();
+  if (intervals.size() < params_.min_intervals) return result;
+  const double mean =
+      std::accumulate(intervals.begin(), intervals.end(), 0.0) /
+      static_cast<double>(intervals.size());
+  if (mean <= 0.0) return result;
+  double ss = 0.0;
+  for (const double v : intervals) ss += (v - mean) * (v - mean);
+  const double stddev = std::sqrt(ss / static_cast<double>(intervals.size()));
+  result.period = mean;
+  result.divergence = stddev / mean;
+  result.automated = result.divergence <= params_.max_coeff_variation;
+  return result;
+}
+
+namespace {
+
+// Bin timestamps into a fixed-resolution 0/1 activity series starting at the
+// first connection.
+std::vector<double> activity_series(std::span<const util::TimePoint> timestamps,
+                                    double slot_seconds, std::size_t max_slots) {
+  std::vector<double> series;
+  if (timestamps.empty()) return series;
+  const util::TimePoint t0 = timestamps.front();
+  std::size_t slots = 0;
+  for (const util::TimePoint t : timestamps) {
+    const auto slot =
+        static_cast<std::size_t>(static_cast<double>(t - t0) / slot_seconds);
+    if (slot >= max_slots) break;
+    slots = std::max(slots, slot + 1);
+  }
+  series.assign(slots, 0.0);
+  for (const util::TimePoint t : timestamps) {
+    const auto slot =
+        static_cast<std::size_t>(static_cast<double>(t - t0) / slot_seconds);
+    if (slot < series.size()) series[slot] += 1.0;
+  }
+  return series;
+}
+
+}  // namespace
+
+AutomationResult AutocorrDetector::test(
+    std::span<const util::TimePoint> timestamps) const {
+  AutomationResult result;
+  result.interval_count = timestamps.size() < 2 ? 0 : timestamps.size() - 1;
+  if (timestamps.size() < params_.min_connections) return result;
+  const auto series = activity_series(timestamps, params_.slot_seconds, 1 << 20);
+  const std::size_t n = series.size();
+  if (n < 4) return result;
+  const double mean = std::accumulate(series.begin(), series.end(), 0.0) /
+                      static_cast<double>(n);
+  double var = 0.0;
+  for (const double v : series) var += (v - mean) * (v - mean);
+  if (var <= 0.0) return result;
+  double best = 0.0;
+  double best_lag = 0.0;
+  for (std::size_t lag = 1; lag <= n / 2; ++lag) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i + lag < n; ++i) {
+      acc += (series[i] - mean) * (series[i + lag] - mean);
+    }
+    const double r = acc / var;
+    if (r > best) {
+      best = r;
+      best_lag = static_cast<double>(lag) * params_.slot_seconds;
+    }
+  }
+  result.period = best_lag;
+  result.divergence = best;
+  result.automated = best >= params_.min_correlation;
+  return result;
+}
+
+void fft_radix2(std::vector<double>& re, std::vector<double>& im) {
+  const std::size_t n = re.size();
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) {
+      std::swap(re[i], re[j]);
+      std::swap(im[i], im[j]);
+    }
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = -2.0 * 3.141592653589793 / static_cast<double>(len);
+    const double wr = std::cos(angle);
+    const double wi = std::sin(angle);
+    for (std::size_t i = 0; i < n; i += len) {
+      double cur_r = 1.0;
+      double cur_i = 0.0;
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::size_t a = i + k;
+        const std::size_t b = i + k + len / 2;
+        const double tr = re[b] * cur_r - im[b] * cur_i;
+        const double ti = re[b] * cur_i + im[b] * cur_r;
+        re[b] = re[a] - tr;
+        im[b] = im[a] - ti;
+        re[a] += tr;
+        im[a] += ti;
+        const double next_r = cur_r * wr - cur_i * wi;
+        cur_i = cur_r * wi + cur_i * wr;
+        cur_r = next_r;
+      }
+    }
+  }
+}
+
+AutomationResult FftDetector::test(
+    std::span<const util::TimePoint> timestamps) const {
+  AutomationResult result;
+  result.interval_count = timestamps.size() < 2 ? 0 : timestamps.size() - 1;
+  if (timestamps.size() < params_.min_connections) return result;
+  auto series = activity_series(timestamps, params_.slot_seconds, params_.fft_size);
+  if (series.size() < 8) return result;
+  series.resize(params_.fft_size, 0.0);
+  const double mean = std::accumulate(series.begin(), series.end(), 0.0) /
+                      static_cast<double>(series.size());
+  std::vector<double> re(series.size());
+  std::vector<double> im(series.size(), 0.0);
+  for (std::size_t i = 0; i < series.size(); ++i) re[i] = series[i] - mean;
+  fft_radix2(re, im);
+  double total = 0.0;
+  double peak = 0.0;
+  std::size_t peak_index = 0;
+  for (std::size_t i = 1; i < series.size() / 2; ++i) {
+    const double power = re[i] * re[i] + im[i] * im[i];
+    total += power;
+    if (power > peak) {
+      peak = power;
+      peak_index = i;
+    }
+  }
+  if (total <= 0.0 || peak_index == 0) return result;
+  const double mean_power =
+      total / static_cast<double>(series.size() / 2 - 1);
+  result.period = static_cast<double>(series.size()) /
+                  static_cast<double>(peak_index) * params_.slot_seconds;
+  result.divergence = peak / mean_power;
+  result.automated = result.divergence >= params_.min_peak_snr;
+  return result;
+}
+
+}  // namespace eid::timing

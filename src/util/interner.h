@@ -1,0 +1,48 @@
+// String interning: the graph and feature layers work on dense uint32 ids
+// for hosts and domains; strings only live at the log/simulator boundary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace eid::util {
+
+/// Dense id assigned by an Interner. 0 is a valid id.
+using InternId = std::uint32_t;
+
+inline constexpr InternId kInvalidInternId = 0xffffffffu;
+
+/// Bidirectional string <-> dense-id map. Not thread-safe; the pipeline is
+/// single-threaded per day, matching the daily batch model of the paper.
+class Interner {
+ public:
+  /// Id for the string, inserting it if new.
+  InternId intern(std::string_view text) {
+    auto it = ids_.find(std::string(text));
+    if (it != ids_.end()) return it->second;
+    const InternId id = static_cast<InternId>(strings_.size());
+    strings_.emplace_back(text);
+    ids_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  /// Id for the string if already interned, kInvalidInternId otherwise.
+  InternId find(std::string_view text) const {
+    auto it = ids_.find(std::string(text));
+    return it == ids_.end() ? kInvalidInternId : it->second;
+  }
+
+  /// String for an id. Requires id < size().
+  const std::string& name(InternId id) const { return strings_[id]; }
+
+  std::size_t size() const { return strings_.size(); }
+
+ private:
+  std::unordered_map<std::string, InternId> ids_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace eid::util

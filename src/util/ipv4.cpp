@@ -1,0 +1,30 @@
+#include "util/ipv4.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace eid::util {
+
+std::string format_ipv4(Ipv4 ip) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (ip.value >> 24) & 0xff,
+                (ip.value >> 16) & 0xff, (ip.value >> 8) & 0xff, ip.value & 0xff);
+  return buf;
+}
+
+std::optional<Ipv4> parse_ipv4(std::string_view text) {
+  const auto parts = split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const auto part : parts) {
+    if (!is_all_digits(part) || part.size() > 3) return std::nullopt;
+    std::uint32_t octet = 0;
+    for (char c : part) octet = octet * 10 + static_cast<std::uint32_t>(c - '0');
+    if (octet > 255) return std::nullopt;
+    value = (value << 8) | octet;
+  }
+  return Ipv4{value};
+}
+
+}  // namespace eid::util

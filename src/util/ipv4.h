@@ -1,0 +1,55 @@
+// IPv4 addresses and the /16 //24 subnet relations used by the domain
+// similarity features (IP space proximity, §IV-D of the paper).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace eid::util {
+
+/// An IPv4 address stored in host byte order.
+struct Ipv4 {
+  std::uint32_t value = 0;
+
+  static constexpr Ipv4 from_octets(std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                                    std::uint32_t d) {
+    return Ipv4{(a << 24) | (b << 16) | (c << 8) | d};
+  }
+
+  constexpr std::uint32_t subnet24() const { return value >> 8; }
+  constexpr std::uint32_t subnet16() const { return value >> 16; }
+
+  friend constexpr bool operator==(Ipv4 a, Ipv4 b) { return a.value == b.value; }
+  friend constexpr bool operator<(Ipv4 a, Ipv4 b) { return a.value < b.value; }
+};
+
+/// True if the two addresses share the top 24 bits.
+constexpr bool same_subnet24(Ipv4 a, Ipv4 b) { return a.subnet24() == b.subnet24(); }
+
+/// True if the two addresses share the top 16 bits.
+constexpr bool same_subnet16(Ipv4 a, Ipv4 b) { return a.subnet16() == b.subnet16(); }
+
+/// Dotted-quad formatting.
+std::string format_ipv4(Ipv4 ip);
+
+/// Parse dotted-quad; rejects out-of-range octets and trailing garbage.
+std::optional<Ipv4> parse_ipv4(std::string_view text);
+
+/// RFC1918-style check used to classify internal enterprise sources.
+constexpr bool is_private_ipv4(Ipv4 ip) {
+  const std::uint32_t v = ip.value;
+  return (v >> 24) == 10 ||                         // 10.0.0.0/8
+         (v >> 20) == (172u << 4 | 1) ||            // 172.16.0.0/12
+         (v >> 16) == (192u << 8 | 168);            // 192.168.0.0/16
+}
+
+}  // namespace eid::util
+
+template <>
+struct std::hash<eid::util::Ipv4> {
+  std::size_t operator()(eid::util::Ipv4 ip) const noexcept {
+    return std::hash<std::uint32_t>{}(ip.value);
+  }
+};

@@ -1,0 +1,41 @@
+#include "util/rng.h"
+
+#include <unordered_set>
+
+namespace eid::util {
+
+std::size_t Rng::zipf(std::size_t n, double alpha) {
+  // Rejection-inversion would be faster for huge n; the simulator draws from
+  // universes of at most a few hundred thousand domains, where simple
+  // inversion on the harmonic CDF approximation is accurate enough and
+  // deterministic. We approximate the normalizing constant with the
+  // continuous integral, then clamp.
+  if (n <= 1) return 1;
+  const double a = alpha == 1.0 ? 1.0000001 : alpha;
+  const double h = (std::pow(static_cast<double>(n), 1.0 - a) - 1.0) / (1.0 - a);
+  const double u = uniform_double();
+  const double x = std::pow(u * h * (1.0 - a) + 1.0, 1.0 / (1.0 - a));
+  auto k = static_cast<std::size_t>(x);
+  if (k < 1) k = 1;
+  if (k > n) k = n;
+  return k;
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  std::vector<std::size_t> out;
+  if (k >= n) {
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = i;
+    shuffle(out);
+    return out;
+  }
+  out.reserve(k);
+  std::unordered_set<std::size_t> seen;
+  while (out.size() < k) {
+    const std::size_t candidate = index(n);
+    if (seen.insert(candidate).second) out.push_back(candidate);
+  }
+  return out;
+}
+
+}  // namespace eid::util

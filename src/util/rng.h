@@ -1,0 +1,124 @@
+// Deterministic random number generation for simulation.
+//
+// Everything in the simulator is driven by this generator so that a scenario
+// seed reproduces a bit-identical log stream. The engine is xoshiro256++
+// seeded through splitmix64 (the construction recommended by the xoshiro
+// authors); distributions are implemented locally rather than via <random>
+// so that output is identical across standard-library implementations.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace eid::util {
+
+/// splitmix64 step; used for seeding and cheap hashing of ids into streams.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic, seedable RNG (xoshiro256++).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed) : seed_(seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Derive an independent stream, e.g. one per host or per campaign.
+  /// Depends only on the seed and stream id, not on how much of the parent
+  /// stream has been consumed — simulation components stay decoupled.
+  Rng fork(std::uint64_t stream_id) const {
+    std::uint64_t sm = seed_ ^ (stream_id * 0x9e3779b97f4a7c15ULL);
+    return Rng(splitmix64(sm));
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). Requires n > 0. Uses rejection to avoid modulo bias.
+  std::uint64_t uniform(std::uint64_t n) {
+    const std::uint64_t threshold = -n % n;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    uniform(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform_double(double lo, double hi) {
+    return lo + (hi - lo) * uniform_double();
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform_double() < p; }
+
+  /// Exponentially distributed inter-arrival time with the given mean.
+  double exponential(double mean) {
+    double u = uniform_double();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal via Box-Muller (one value per call; simple, deterministic).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = uniform_double();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double u2 = uniform_double();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * r * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Geometric-ish heavy-tailed integer >= 1 via inverse power law (Zipf tail).
+  /// Used for popularity ranks: P(X = k) ~ k^-alpha over [1, n].
+  std::size_t zipf(std::size_t n, double alpha);
+
+  /// Random element index for a non-empty container size.
+  std::size_t index(std::size_t size) { return static_cast<std::size_t>(uniform(size)); }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t seed_ = 0;
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace eid::util

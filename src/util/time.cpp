@@ -1,0 +1,75 @@
+#include "util/time.h"
+
+#include <cstdio>
+
+namespace eid::util {
+
+Day days_from_civil(CivilDate date) {
+  int y = date.year;
+  const unsigned m = static_cast<unsigned>(date.month);
+  const unsigned d = static_cast<unsigned>(date.day);
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<Day>(era) * 146097 + static_cast<Day>(doe) - 719468;
+}
+
+CivilDate civil_from_days(Day day) {
+  Day z = day + 719468;
+  const Day era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const Day y = static_cast<Day>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : static_cast<unsigned>(-9));
+  return CivilDate{static_cast<int>(y + (m <= 2)), static_cast<int>(m),
+                   static_cast<int>(d)};
+}
+
+TimePoint make_time(int year, int month, int day, int hour, int minute, int second) {
+  return day_start(make_day(year, month, day)) + hour * kSecondsPerHour +
+         minute * kSecondsPerMinute + second;
+}
+
+std::string format_day(Day day) {
+  const CivilDate c = civil_from_days(day);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", c.year, c.month, c.day);
+  return buf;
+}
+
+std::string format_time(TimePoint t) {
+  const CivilDate c = civil_from_days(day_of(t));
+  const std::int64_t s = seconds_into_day(t);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02lld:%02lld:%02lldZ", c.year,
+                c.month, c.day, static_cast<long long>(s / kSecondsPerHour),
+                static_cast<long long>((s / kSecondsPerMinute) % 60),
+                static_cast<long long>(s % 60));
+  return buf;
+}
+
+bool parse_day(const std::string& text, Day& out) {
+  int y = 0, m = 0, d = 0;
+  if (std::sscanf(text.c_str(), "%d-%d-%d", &y, &m, &d) != 3) return false;
+  if (m < 1 || m > 12 || d < 1 || d > 31) return false;
+  out = make_day(y, m, d);
+  return true;
+}
+
+bool parse_time(const std::string& text, TimePoint& out) {
+  int y = 0, mo = 0, d = 0, h = 0, mi = 0, s = 0;
+  if (std::sscanf(text.c_str(), "%d-%d-%dT%d:%d:%d", &y, &mo, &d, &h, &mi, &s) != 6)
+    return false;
+  if (mo < 1 || mo > 12 || d < 1 || d > 31 || h < 0 || h > 23 || mi < 0 || mi > 59 ||
+      s < 0 || s > 60)
+    return false;
+  out = make_time(y, mo, d, h, mi, s);
+  return true;
+}
+
+}  // namespace eid::util

@@ -1,0 +1,72 @@
+// Time primitives used throughout the detection pipeline.
+//
+// All log records carry a TimePoint: seconds since the Unix epoch, UTC.
+// Daily batch processing (profiles, rare-destination extraction, belief
+// propagation runs) is keyed by Day: whole days since the Unix epoch.
+// Civil-date conversion uses the Howard Hinnant / Cassio Neri algorithms,
+// which are exact over the entire int64 range we care about.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace eid::util {
+
+/// Seconds since 1970-01-01T00:00:00Z.
+using TimePoint = std::int64_t;
+
+/// Whole days since 1970-01-01 (UTC).
+using Day = std::int64_t;
+
+inline constexpr std::int64_t kSecondsPerDay = 86400;
+inline constexpr std::int64_t kSecondsPerHour = 3600;
+inline constexpr std::int64_t kSecondsPerMinute = 60;
+
+/// A calendar date in the proleptic Gregorian calendar.
+struct CivilDate {
+  int year = 1970;
+  int month = 1;  // 1..12
+  int day = 1;    // 1..31
+
+  friend bool operator==(const CivilDate&, const CivilDate&) = default;
+};
+
+/// Days since epoch for a civil date (exact; negative years allowed).
+Day days_from_civil(CivilDate date);
+
+/// Inverse of days_from_civil.
+CivilDate civil_from_days(Day day);
+
+/// Convenience: days since epoch for year/month/day.
+inline Day make_day(int year, int month, int day) {
+  return days_from_civil(CivilDate{year, month, day});
+}
+
+/// TimePoint at midnight UTC of the given day.
+inline TimePoint day_start(Day day) { return day * kSecondsPerDay; }
+
+/// Day containing the given time point (floor division, correct for t < 0).
+inline Day day_of(TimePoint t) {
+  return t >= 0 ? t / kSecondsPerDay : (t - (kSecondsPerDay - 1)) / kSecondsPerDay;
+}
+
+/// Seconds elapsed since midnight UTC of the day containing t.
+inline std::int64_t seconds_into_day(TimePoint t) { return t - day_start(day_of(t)); }
+
+/// TimePoint for a civil date plus time-of-day.
+TimePoint make_time(int year, int month, int day, int hour = 0, int minute = 0,
+                    int second = 0);
+
+/// "YYYY-MM-DD" for a day.
+std::string format_day(Day day);
+
+/// "YYYY-MM-DDTHH:MM:SSZ" for a time point.
+std::string format_time(TimePoint t);
+
+/// Parse "YYYY-MM-DD"; returns false on malformed input.
+bool parse_day(const std::string& text, Day& out);
+
+/// Parse "YYYY-MM-DDTHH:MM:SS[Z]"; returns false on malformed input.
+bool parse_time(const std::string& text, TimePoint& out);
+
+}  // namespace eid::util

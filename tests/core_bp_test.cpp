@@ -1,0 +1,233 @@
+#include "core/belief_propagation.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "test_helpers.h"
+
+namespace eid::core {
+namespace {
+
+using test::DayBuilder;
+
+/// Scripted scorer: fixed C&C set and fixed similarity scores by name.
+class ScriptedScorer final : public DomainScorer {
+ public:
+  ScriptedScorer(const graph::DayGraph& graph) : graph_(graph) {}
+
+  void mark_cc(const std::string& name) { cc_.insert(name); }
+  void set_score(const std::string& name, double score) { scores_[name] = score; }
+
+  bool detect_cc(graph::DomainId domain) const override {
+    return cc_.contains(graph_.domain_name(domain));
+  }
+
+  double similarity_score(graph::DomainId domain,
+                          std::span<const graph::DomainId>) const override {
+    auto it = scores_.find(graph_.domain_name(domain));
+    return it == scores_.end() ? 0.0 : it->second;
+  }
+
+ private:
+  const graph::DayGraph& graph_;
+  std::set<std::string> cc_;
+  std::map<std::string, double> scores_;
+};
+
+std::unordered_set<graph::DomainId> all_rare(const graph::DayGraph& graph) {
+  std::unordered_set<graph::DomainId> rare;
+  for (graph::DomainId d = 0; d < graph.domain_count(); ++d) rare.insert(d);
+  return rare;
+}
+
+std::vector<std::string> domain_names(const graph::DayGraph& graph,
+                                      const std::vector<graph::DomainId>& ids) {
+  std::vector<std::string> out;
+  for (const auto id : ids) out.push_back(graph.domain_name(id));
+  return out;
+}
+
+TEST(BpTest, ExpandsFromHintHostThroughCc) {
+  // hint host h1 -> C&C cc.com -> second victim h2 -> similar bad2.com.
+  DayBuilder builder;
+  builder.visit("h1", "cc.com", 1000);
+  builder.visit("h2", "cc.com", 2000);
+  builder.visit("h2", "bad2.com", 2100);
+  builder.visit("h3", "clean.com", 3000);
+  const graph::DayGraph graph = builder.build();
+  ScriptedScorer scorer(graph);
+  scorer.mark_cc("cc.com");
+  scorer.set_score("bad2.com", 0.9);
+  scorer.set_score("clean.com", 0.1);
+
+  const std::vector<graph::HostId> seeds = {graph.find_host("h1")};
+  BpConfig config;
+  config.sim_threshold = 0.25;
+  config.max_iterations = 5;
+  const BpResult result =
+      belief_propagation(graph, all_rare(graph), seeds, {}, scorer, config);
+
+  const auto names = domain_names(graph, result.domains);
+  EXPECT_EQ(names, (std::vector<std::string>{"cc.com", "bad2.com"}));
+  // Both victims found; h3 untouched.
+  ASSERT_EQ(result.hosts.size(), 2u);
+  EXPECT_EQ(graph.host_name(result.hosts[0]), "h1");
+  EXPECT_EQ(graph.host_name(result.hosts[1]), "h2");
+}
+
+TEST(BpTest, StopsWhenMaxScoreBelowThreshold) {
+  DayBuilder builder;
+  builder.visit("h1", "weak.com", 1000);
+  builder.visit("h1", "weaker.com", 1100);
+  const graph::DayGraph graph = builder.build();
+  ScriptedScorer scorer(graph);
+  scorer.set_score("weak.com", 0.2);
+  scorer.set_score("weaker.com", 0.1);
+
+  const std::vector<graph::HostId> seeds = {graph.find_host("h1")};
+  BpConfig config;
+  config.sim_threshold = 0.25;
+  const BpResult result =
+      belief_propagation(graph, all_rare(graph), seeds, {}, scorer, config);
+  EXPECT_TRUE(result.domains.empty());
+  EXPECT_TRUE(result.stopped_by_threshold);
+  EXPECT_EQ(result.iterations, 0u);
+}
+
+TEST(BpTest, LabelsOneSimilarityDomainPerIteration) {
+  DayBuilder builder;
+  builder.visit("h1", "a.com", 1000);
+  builder.visit("h1", "b.com", 1100);
+  builder.visit("h1", "c.com", 1200);
+  const graph::DayGraph graph = builder.build();
+  ScriptedScorer scorer(graph);
+  scorer.set_score("a.com", 0.9);
+  scorer.set_score("b.com", 0.8);
+  scorer.set_score("c.com", 0.7);
+
+  const std::vector<graph::HostId> seeds = {graph.find_host("h1")};
+  BpConfig config;
+  config.sim_threshold = 0.25;
+  config.max_iterations = 2;  // can only label two of the three
+  const BpResult result =
+      belief_propagation(graph, all_rare(graph), seeds, {}, scorer, config);
+  const auto names = domain_names(graph, result.domains);
+  EXPECT_EQ(names, (std::vector<std::string>{"a.com", "b.com"}));
+  EXPECT_EQ(result.iterations, 2u);
+}
+
+TEST(BpTest, SeedDomainsExpandTheirHosts) {
+  // No-hint mode: seed domains imply their contacting hosts are suspect.
+  DayBuilder builder;
+  builder.visit("h1", "seeded.com", 1000);
+  builder.visit("h1", "next.com", 1100);
+  const graph::DayGraph graph = builder.build();
+  ScriptedScorer scorer(graph);
+  scorer.set_score("next.com", 0.5);
+
+  const std::vector<graph::DomainId> seed_domains = {
+      graph.find_domain("seeded.com")};
+  BpConfig config;
+  const BpResult result = belief_propagation(graph, all_rare(graph), {},
+                                             seed_domains, scorer, config);
+  const auto new_names = domain_names(graph, result.new_domains);
+  EXPECT_EQ(new_names, (std::vector<std::string>{"next.com"}));
+  // Seeds are included in domains but not in new_domains.
+  EXPECT_EQ(result.domains.size(), 2u);
+  // The seed's trace entry has reason Seed.
+  ASSERT_FALSE(result.trace.empty());
+  EXPECT_EQ(result.trace[0].reason, LabelReason::Seed);
+}
+
+TEST(BpTest, OnlyRareDomainsEnterTheFrontier) {
+  DayBuilder builder;
+  builder.visit("h1", "rare.com", 1000);
+  builder.visit("h1", "popular.com", 1100);
+  const graph::DayGraph graph = builder.build();
+  ScriptedScorer scorer(graph);
+  scorer.set_score("rare.com", 0.9);
+  scorer.set_score("popular.com", 0.9);
+
+  std::unordered_set<graph::DomainId> rare = {graph.find_domain("rare.com")};
+  const std::vector<graph::HostId> seeds = {graph.find_host("h1")};
+  const BpResult result =
+      belief_propagation(graph, rare, seeds, {}, scorer, BpConfig{});
+  const auto names = domain_names(graph, result.domains);
+  EXPECT_EQ(names, (std::vector<std::string>{"rare.com"}));
+}
+
+TEST(BpTest, CcPassBeatsSimilarityPass) {
+  // When a C&C domain exists in the frontier, the iteration labels it (and
+  // not the best-similarity domain).
+  DayBuilder builder;
+  builder.visit("h1", "cc.com", 1000);
+  builder.visit("h1", "similar.com", 1100);
+  const graph::DayGraph graph = builder.build();
+  ScriptedScorer scorer(graph);
+  scorer.mark_cc("cc.com");
+  scorer.set_score("similar.com", 0.99);
+
+  const std::vector<graph::HostId> seeds = {graph.find_host("h1")};
+  BpConfig config;
+  config.max_iterations = 1;
+  const BpResult result =
+      belief_propagation(graph, all_rare(graph), seeds, {}, scorer, config);
+  const auto names = domain_names(graph, result.domains);
+  EXPECT_EQ(names, (std::vector<std::string>{"cc.com"}));
+  EXPECT_EQ(result.trace[0].reason, LabelReason::CandC);
+}
+
+TEST(BpTest, MaxIterationsBoundsWork) {
+  // A long chain: each labeled domain reveals one more host and domain.
+  DayBuilder builder;
+  for (int i = 0; i < 10; ++i) {
+    const std::string host = "h" + std::to_string(i);
+    builder.visit(host, "d" + std::to_string(i) + ".com", 1000 + i * 10);
+    builder.visit(host, "d" + std::to_string(i + 1) + ".com", 1005 + i * 10);
+  }
+  const graph::DayGraph graph = builder.build();
+  ScriptedScorer scorer(graph);
+  for (int i = 0; i <= 10; ++i) {
+    scorer.set_score("d" + std::to_string(i) + ".com", 0.9);
+  }
+  const std::vector<graph::HostId> seeds = {graph.find_host("h0")};
+  BpConfig config;
+  config.max_iterations = 3;
+  const BpResult result =
+      belief_propagation(graph, all_rare(graph), seeds, {}, scorer, config);
+  EXPECT_EQ(result.domains.size(), 3u);
+  EXPECT_EQ(result.iterations, 3u);
+}
+
+TEST(BpTest, EmptySeedsProduceNothing) {
+  DayBuilder builder;
+  builder.visit("h1", "a.com", 1000);
+  const graph::DayGraph graph = builder.build();
+  ScriptedScorer scorer(graph);
+  scorer.set_score("a.com", 0.9);
+  const BpResult result =
+      belief_propagation(graph, all_rare(graph), {}, {}, scorer, BpConfig{});
+  EXPECT_TRUE(result.domains.empty());
+  EXPECT_TRUE(result.hosts.empty());
+}
+
+TEST(BpTest, TraceRecordsIterationAndNewHosts) {
+  DayBuilder builder;
+  builder.visit("h1", "cc.com", 1000);
+  builder.visit("h2", "cc.com", 1500);
+  const graph::DayGraph graph = builder.build();
+  ScriptedScorer scorer(graph);
+  scorer.mark_cc("cc.com");
+  const std::vector<graph::HostId> seeds = {graph.find_host("h1")};
+  const BpResult result =
+      belief_propagation(graph, all_rare(graph), seeds, {}, scorer, BpConfig{});
+  ASSERT_EQ(result.trace.size(), 1u);
+  EXPECT_EQ(result.trace[0].iteration, 1u);
+  ASSERT_EQ(result.trace[0].new_hosts.size(), 1u);
+  EXPECT_EQ(graph.host_name(result.trace[0].new_hosts[0]), "h2");
+}
+
+}  // namespace
+}  // namespace eid::core

@@ -1,0 +1,155 @@
+// The greedy (label-all-above-threshold) variant of Algorithm 1 and
+// determinism guarantees of belief propagation.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/belief_propagation.h"
+#include "test_helpers.h"
+
+namespace eid::core {
+namespace {
+
+using test::DayBuilder;
+
+class ScriptedScorer final : public DomainScorer {
+ public:
+  explicit ScriptedScorer(const graph::DayGraph& graph) : graph_(graph) {}
+  void set_score(const std::string& name, double score) { scores_[name] = score; }
+  bool detect_cc(graph::DomainId) const override { return false; }
+  double similarity_score(graph::DomainId domain,
+                          std::span<const graph::DomainId>) const override {
+    auto it = scores_.find(graph_.domain_name(domain));
+    return it == scores_.end() ? 0.0 : it->second;
+  }
+
+ private:
+  const graph::DayGraph& graph_;
+  std::map<std::string, double> scores_;
+};
+
+std::unordered_set<graph::DomainId> all_rare(const graph::DayGraph& graph) {
+  std::unordered_set<graph::DomainId> rare;
+  for (graph::DomainId d = 0; d < graph.domain_count(); ++d) rare.insert(d);
+  return rare;
+}
+
+TEST(BpVariantTest, GreedyLabelsAllAboveThresholdInOneIteration) {
+  DayBuilder builder;
+  builder.visit("h1", "a.com", 1000);
+  builder.visit("h1", "b.com", 1100);
+  builder.visit("h1", "c.com", 1200);
+  const graph::DayGraph graph = builder.build();
+  ScriptedScorer scorer(graph);
+  scorer.set_score("a.com", 0.9);
+  scorer.set_score("b.com", 0.8);
+  scorer.set_score("c.com", 0.1);
+
+  const std::vector<graph::HostId> seeds = {graph.find_host("h1")};
+  BpConfig config;
+  config.sim_threshold = 0.25;
+  config.max_iterations = 1;
+  config.label_all_above_threshold = true;
+  const BpResult result =
+      belief_propagation(graph, all_rare(graph), seeds, {}, scorer, config);
+  // Both qualifying domains labeled in the single iteration; c.com spared.
+  EXPECT_EQ(result.domains.size(), 2u);
+  EXPECT_EQ(result.iterations, 1u);
+  for (const BpEvent& event : result.trace) {
+    EXPECT_EQ(event.iteration, 1u);
+    EXPECT_NE(graph.domain_name(event.domain), "c.com");
+  }
+}
+
+TEST(BpVariantTest, IncrementalNeedsOneIterationPerDomain) {
+  DayBuilder builder;
+  builder.visit("h1", "a.com", 1000);
+  builder.visit("h1", "b.com", 1100);
+  const graph::DayGraph graph = builder.build();
+  ScriptedScorer scorer(graph);
+  scorer.set_score("a.com", 0.9);
+  scorer.set_score("b.com", 0.8);
+  const std::vector<graph::HostId> seeds = {graph.find_host("h1")};
+
+  BpConfig incremental;
+  incremental.max_iterations = 1;
+  const BpResult one =
+      belief_propagation(graph, all_rare(graph), seeds, {}, scorer, incremental);
+  EXPECT_EQ(one.domains.size(), 1u);  // greedy above would take both
+}
+
+TEST(BpVariantTest, GreedyStopsWhenNothingQualifies) {
+  DayBuilder builder;
+  builder.visit("h1", "a.com", 1000);
+  const graph::DayGraph graph = builder.build();
+  ScriptedScorer scorer(graph);
+  scorer.set_score("a.com", 0.1);
+  const std::vector<graph::HostId> seeds = {graph.find_host("h1")};
+  BpConfig config;
+  config.sim_threshold = 0.25;
+  config.label_all_above_threshold = true;
+  const BpResult result =
+      belief_propagation(graph, all_rare(graph), seeds, {}, scorer, config);
+  EXPECT_TRUE(result.domains.empty());
+  EXPECT_TRUE(result.stopped_by_threshold);
+}
+
+TEST(BpVariantTest, GreedySupersetOfIncrementalDetections) {
+  // Property: with the same budget, greedy labels a superset of what the
+  // incremental variant labels (this scorer ignores the labeled set, so
+  // scores are static and the property is exact).
+  DayBuilder builder;
+  for (int i = 0; i < 8; ++i) {
+    const std::string host = "h" + std::to_string(i);
+    builder.visit(host, "d" + std::to_string(i) + ".com", 1000 + i * 10);
+    builder.visit(host, "d" + std::to_string(i + 1) + ".com", 1005 + i * 10);
+  }
+  const graph::DayGraph graph = builder.build();
+  ScriptedScorer scorer(graph);
+  for (int i = 0; i <= 8; ++i) {
+    scorer.set_score("d" + std::to_string(i) + ".com", i % 3 == 0 ? 0.2 : 0.7);
+  }
+  const std::vector<graph::HostId> seeds = {graph.find_host("h0")};
+  BpConfig config;
+  config.max_iterations = 4;
+  const BpResult incremental =
+      belief_propagation(graph, all_rare(graph), seeds, {}, scorer, config);
+  config.label_all_above_threshold = true;
+  const BpResult greedy =
+      belief_propagation(graph, all_rare(graph), seeds, {}, scorer, config);
+  std::set<graph::DomainId> greedy_set(greedy.domains.begin(),
+                                       greedy.domains.end());
+  for (const graph::DomainId dom : incremental.domains) {
+    EXPECT_TRUE(greedy_set.contains(dom)) << graph.domain_name(dom);
+  }
+}
+
+TEST(BpVariantTest, RunsAreDeterministic) {
+  DayBuilder builder;
+  for (int i = 0; i < 30; ++i) {
+    builder.visit("h" + std::to_string(i % 7), "d" + std::to_string(i) + ".com",
+                  1000 + i * 13);
+  }
+  const graph::DayGraph graph = builder.build();
+  ScriptedScorer scorer(graph);
+  for (int i = 0; i < 30; ++i) {
+    scorer.set_score("d" + std::to_string(i) + ".com", 0.3 + 0.02 * (i % 10));
+  }
+  const std::vector<graph::HostId> seeds = {graph.find_host("h0")};
+  const BpConfig config;
+  const BpResult a =
+      belief_propagation(graph, all_rare(graph), seeds, {}, scorer, config);
+  const BpResult b =
+      belief_propagation(graph, all_rare(graph), seeds, {}, scorer, config);
+  EXPECT_EQ(a.domains, b.domains);
+  EXPECT_EQ(a.hosts, b.hosts);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].domain, b.trace[i].domain);
+    EXPECT_EQ(a.trace[i].iteration, b.trace[i].iteration);
+  }
+}
+
+}  // namespace
+}  // namespace eid::core

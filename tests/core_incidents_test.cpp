@@ -1,0 +1,124 @@
+#include "core/incidents.h"
+
+#include <gtest/gtest.h>
+
+namespace eid::core {
+namespace {
+
+std::vector<std::string> v(std::initializer_list<const char*> items) {
+  return {items.begin(), items.end()};
+}
+
+TEST(IncidentsTest, NewCommunityOpensIncident) {
+  IncidentStore store;
+  const int id = store.ingest_community(100, v({"a.com"}), v({"h1"}));
+  ASSERT_GE(id, 0);
+  EXPECT_EQ(store.size(), 1u);
+  const Incident* incident = store.find(id);
+  ASSERT_NE(incident, nullptr);
+  EXPECT_EQ(incident->first_seen, 100);
+  EXPECT_EQ(incident->last_seen, 100);
+  EXPECT_EQ(incident->days_active, 1u);
+  EXPECT_TRUE(incident->domains.contains("a.com"));
+  EXPECT_TRUE(incident->hosts.contains("h1"));
+}
+
+TEST(IncidentsTest, EmptyCommunityRejected) {
+  IncidentStore store;
+  EXPECT_EQ(store.ingest_community(100, {}, {}), -1);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(IncidentsTest, SharedDomainJoinsIncident) {
+  IncidentStore store;
+  const int first = store.ingest_community(100, v({"cc.ru", "drop.ru"}), v({"h1"}));
+  const int second = store.ingest_community(101, v({"cc.ru", "stage2.ru"}), v({"h2"}));
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(store.size(), 1u);
+  const Incident* incident = store.find(first);
+  EXPECT_EQ(incident->domains.size(), 3u);
+  EXPECT_EQ(incident->hosts.size(), 2u);
+  EXPECT_EQ(incident->first_seen, 100);
+  EXPECT_EQ(incident->last_seen, 101);
+  EXPECT_EQ(incident->days_active, 2u);
+}
+
+TEST(IncidentsTest, SharedHostJoinsIncident) {
+  IncidentStore store;
+  const int first = store.ingest_community(100, v({"a.com"}), v({"h1"}));
+  const int second = store.ingest_community(105, v({"b.com"}), v({"h1"}));
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(IncidentsTest, DisjointCommunitiesStaySeparate) {
+  IncidentStore store;
+  const int first = store.ingest_community(100, v({"a.com"}), v({"h1"}));
+  const int second = store.ingest_community(100, v({"b.com"}), v({"h2"}));
+  EXPECT_NE(first, second);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(IncidentsTest, BridgingCommunityMergesIncidents) {
+  IncidentStore store;
+  const int a = store.ingest_community(100, v({"a.com"}), v({"h1"}));
+  const int b = store.ingest_community(100, v({"b.com"}), v({"h2"}));
+  ASSERT_NE(a, b);
+  // A later community touching both collapses them into one incident.
+  const int merged = store.ingest_community(102, v({"a.com", "b.com"}), v({"h3"}));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(merged, std::min(a, b));  // older id wins
+  const Incident* incident = store.find(merged);
+  ASSERT_NE(incident, nullptr);
+  EXPECT_EQ(incident->domains.size(), 2u);
+  EXPECT_EQ(incident->hosts.size(), 3u);
+  // The absorbed incident is gone.
+  EXPECT_EQ(store.find(std::max(a, b)), nullptr);
+}
+
+TEST(IncidentsTest, MergePreservesTimeline) {
+  IncidentStore store;
+  const int a = store.ingest_community(100, v({"a.com"}), v({"h1"}));
+  store.ingest_community(110, v({"b.com"}), v({"h2"}));
+  const int merged = store.ingest_community(105, v({"a.com", "b.com"}), {});
+  EXPECT_EQ(merged, a);
+  const Incident* incident = store.find(merged);
+  EXPECT_EQ(incident->first_seen, 100);
+  EXPECT_EQ(incident->last_seen, 110);
+  EXPECT_EQ(incident->days_active, 3u);
+}
+
+TEST(IncidentsTest, ActiveSinceFilters) {
+  IncidentStore store;
+  store.ingest_community(100, v({"old.com"}), v({"h1"}));
+  store.ingest_community(200, v({"new.com"}), v({"h2"}));
+  EXPECT_EQ(store.active_since(150).size(), 1u);
+  EXPECT_EQ(store.active_since(0).size(), 2u);
+  EXPECT_EQ(store.active_since(300).size(), 0u);
+}
+
+TEST(IncidentsTest, RecurringCampaignAccumulates) {
+  // A multi-day campaign: daily detections of the same C&C with rotating
+  // second-stage domains keeps collapsing into one incident.
+  IncidentStore store;
+  for (int day = 0; day < 10; ++day) {
+    const std::vector<std::string> hosts = {"h" + std::to_string(day % 3)};
+    store.ingest_community(1000 + day, v({"cc.ru"}), hosts);
+  }
+  EXPECT_EQ(store.size(), 1u);
+  const auto incidents = store.incidents();
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_EQ(incidents[0].days_active, 10u);
+  EXPECT_EQ(incidents[0].hosts.size(), 3u);
+  EXPECT_EQ(incidents[0].last_seen - incidents[0].first_seen, 9);
+}
+
+TEST(IncidentsTest, FindRejectsBadIds) {
+  IncidentStore store;
+  EXPECT_EQ(store.find(-1), nullptr);
+  EXPECT_EQ(store.find(0), nullptr);
+  EXPECT_EQ(store.find(99), nullptr);
+}
+
+}  // namespace
+}  // namespace eid::core

@@ -1,0 +1,101 @@
+#include "core/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "ml/matrix.h"
+
+namespace eid::core {
+namespace {
+
+ScoredModel sample_model() {
+  ScoredModel model;
+  model.threshold = 0.4;
+  model.score_offset = -0.173;
+  model.score_scale = 0.651;
+  model.model.intercept = 0.0625;
+  model.model.weights = {1.25, -0.333333333333333314, 0.1, 0.0, -7e-3, 2.5e4};
+  model.model.std_errors = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+  model.model.t_stats = {12.5, -1.6, 0.33, 0.0, -0.014, 41666.6};
+  model.model.r_squared = 0.376;
+  model.model.residual_variance = 0.0813;
+  model.model.n_samples = 176;
+  ml::Matrix bounds(2, 6);
+  for (std::size_t c = 0; c < 6; ++c) {
+    bounds.at(0, c) = -static_cast<double>(c) - 0.5;
+    bounds.at(1, c) = static_cast<double>(c) * 3.25 + 1.0;
+  }
+  model.scaler.fit(bounds);
+  return model;
+}
+
+TEST(ModelIoTest, ExactRoundTripThroughText) {
+  const ScoredModel original = sample_model();
+  const auto parsed = parse_scored_model(format_scored_model(original));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->threshold, original.threshold);
+  EXPECT_EQ(parsed->score_offset, original.score_offset);
+  EXPECT_EQ(parsed->score_scale, original.score_scale);
+  EXPECT_EQ(parsed->model.intercept, original.model.intercept);
+  EXPECT_EQ(parsed->model.weights, original.model.weights);  // bit-exact
+  EXPECT_EQ(parsed->model.std_errors, original.model.std_errors);
+  EXPECT_EQ(parsed->model.t_stats, original.model.t_stats);
+  EXPECT_EQ(parsed->model.r_squared, original.model.r_squared);
+  EXPECT_EQ(parsed->model.n_samples, original.model.n_samples);
+  EXPECT_EQ(parsed->scaler.mins(), original.scaler.mins());
+  EXPECT_EQ(parsed->scaler.maxs(), original.scaler.maxs());
+}
+
+TEST(ModelIoTest, LoadedModelScoresIdentically) {
+  const ScoredModel original = sample_model();
+  const auto parsed = parse_scored_model(format_scored_model(original));
+  ASSERT_TRUE(parsed.has_value());
+  for (double base : {-3.0, 0.0, 1.5, 100.0}) {
+    std::array<double, 6> row_a;
+    std::array<double, 6> row_b;
+    for (std::size_t c = 0; c < 6; ++c) row_a[c] = row_b[c] = base + c;
+    EXPECT_EQ(original.score(row_a), parsed->score(row_b)) << base;
+  }
+}
+
+TEST(ModelIoTest, FileRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("eid-model-test-" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const auto path = dir / "cc.model";
+  const ScoredModel original = sample_model();
+  ASSERT_TRUE(save_scored_model(original, path));
+  const auto loaded = load_scored_model(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->model.weights, original.model.weights);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ModelIoTest, RejectsCorruptInput) {
+  EXPECT_FALSE(parse_scored_model("").has_value());
+  EXPECT_FALSE(parse_scored_model("not a model\n").has_value());
+  // Missing weights line.
+  EXPECT_FALSE(
+      parse_scored_model("eid-scored-model 1\nthreshold 0x1p-1\n").has_value());
+  // Scaler/weights mismatch.
+  EXPECT_FALSE(parse_scored_model("eid-scored-model 1\nthreshold 0x1p-1\n"
+                                  "weights 0x1p0 0x1p0\nscaler 0x0p0 0x1p0\n")
+                   .has_value());
+  // Zero score scale would divide by zero at score time.
+  EXPECT_FALSE(parse_scored_model("eid-scored-model 1\nthreshold 0x1p-1\n"
+                                  "score 0x0p0 0x0p0\nweights 0x1p0\n"
+                                  "scaler 0x0p0 0x1p0\n")
+                   .has_value());
+  // Unknown section.
+  EXPECT_FALSE(parse_scored_model("eid-scored-model 1\nthreshold 0x1p-1\n"
+                                  "weights 0x1p0\nscaler 0x0p0 0x1p0\nbogus 1\n")
+                   .has_value());
+}
+
+TEST(ModelIoTest, MissingFileLoadsNothing) {
+  EXPECT_FALSE(load_scored_model("/does/not/exist.model").has_value());
+}
+
+}  // namespace
+}  // namespace eid::core

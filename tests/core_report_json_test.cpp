@@ -1,0 +1,81 @@
+#include "core/report_json.h"
+
+#include <gtest/gtest.h>
+
+namespace eid::core {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainText) {
+  EXPECT_EQ(json_escape("evil.example.com"), "evil.example.com");
+}
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(ReportJsonTest, EmptyReport) {
+  DayReport report;
+  report.day = util::make_day(2014, 2, 13);
+  const std::string json = day_report_to_json(report);
+  EXPECT_NE(json.find("\"day\":\"2014-02-13\""), std::string::npos);
+  EXPECT_NE(json.find("\"cc_domains\":[]"), std::string::npos);
+  EXPECT_NE(json.find("\"nohint\":{\"iterations\":0,\"domains\":[],\"hosts\":[]}"),
+            std::string::npos);
+}
+
+TEST(ReportJsonTest, FullReportFieldsPresent) {
+  DayReport report;
+  report.day = util::make_day(2014, 2, 10);
+  report.events = 12345;
+  report.hosts = 100;
+  report.domains = 200;
+  report.rare_domains = 50;
+  report.automated_pairs = 7;
+  report.cc_domains.push_back(ScoredDomain{"cc.ru", 0.71, 600.0, 3});
+  DetectedDomain det;
+  det.name = "drop\"quoted\".ru";
+  det.score = 0.5;
+  det.reason = LabelReason::Similarity;
+  det.iteration = 2;
+  report.nohint.domains.push_back(det);
+  report.nohint.hosts = {"ws-1.corp", "ws-2.corp"};
+  report.nohint.iterations = 2;
+
+  const std::string json = day_report_to_json(report);
+  EXPECT_NE(json.find("\"events\":12345"), std::string::npos);
+  EXPECT_NE(json.find("\"domain\":\"cc.ru\""), std::string::npos);
+  EXPECT_NE(json.find("\"period_seconds\":600"), std::string::npos);
+  EXPECT_NE(json.find("\"auto_hosts\":3"), std::string::npos);
+  EXPECT_NE(json.find("drop\\\"quoted\\\".ru"), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"similarity\""), std::string::npos);
+  EXPECT_NE(json.find("\"hosts\":[\"ws-1.corp\",\"ws-2.corp\"]"),
+            std::string::npos);
+  // Balanced braces / brackets (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(ReportJsonTest, IncidentJson) {
+  Incident incident;
+  incident.id = 4;
+  incident.first_seen = util::make_day(2014, 2, 1);
+  incident.last_seen = util::make_day(2014, 2, 9);
+  incident.days_active = 5;
+  incident.domains = {"a.ru", "b.ru"};
+  incident.hosts = {"ws-9.corp"};
+  const std::string json = incident_to_json(incident);
+  EXPECT_NE(json.find("\"id\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"first_seen\":\"2014-02-01\""), std::string::npos);
+  EXPECT_NE(json.find("\"last_seen\":\"2014-02-09\""), std::string::npos);
+  EXPECT_NE(json.find("\"days_active\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"domains\":[\"a.ru\",\"b.ru\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"hosts\":[\"ws-9.corp\"]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eid::core

@@ -1,0 +1,125 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace eid::eval {
+namespace {
+
+TEST(DetectionCountsTest, RatesMatchDefinitions) {
+  DetectionCounts counts;
+  counts.tp = 59;
+  counts.fp = 1;
+  counts.fn = 4;
+  EXPECT_NEAR(counts.tdr(), 59.0 / 60.0, 1e-12);
+  EXPECT_NEAR(counts.fdr(), 1.0 / 60.0, 1e-12);
+  EXPECT_NEAR(counts.fnr(), 4.0 / 63.0, 1e-12);
+}
+
+TEST(DetectionCountsTest, EmptyIsZero) {
+  const DetectionCounts counts;
+  EXPECT_DOUBLE_EQ(counts.tdr(), 0.0);
+  EXPECT_DOUBLE_EQ(counts.fdr(), 0.0);
+  EXPECT_DOUBLE_EQ(counts.fnr(), 0.0);
+}
+
+TEST(DetectionCountsTest, Accumulation) {
+  DetectionCounts a;
+  a.tp = 1;
+  a.fp = 2;
+  a.fn = 3;
+  DetectionCounts b;
+  b.tp = 10;
+  b.fp = 20;
+  b.fn = 30;
+  a += b;
+  EXPECT_EQ(a.tp, 11u);
+  EXPECT_EQ(a.fp, 22u);
+  EXPECT_EQ(a.fn, 33u);
+}
+
+TEST(ScoreDetectionsTest, CountsCorrectly) {
+  const std::vector<std::string> detected = {"a.com", "b.com", "x.com"};
+  const std::vector<std::string> answers = {"a.com", "b.com", "c.com"};
+  const DetectionCounts counts = score_detections(detected, answers);
+  EXPECT_EQ(counts.tp, 2u);
+  EXPECT_EQ(counts.fp, 1u);
+  EXPECT_EQ(counts.fn, 1u);
+}
+
+TEST(ScoreDetectionsTest, DuplicateDetectionsCountOnce) {
+  const std::vector<std::string> detected = {"a.com", "a.com", "a.com"};
+  const std::vector<std::string> answers = {"a.com"};
+  const DetectionCounts counts = score_detections(detected, answers);
+  EXPECT_EQ(counts.tp, 1u);
+  EXPECT_EQ(counts.fp, 0u);
+  EXPECT_EQ(counts.fn, 0u);
+}
+
+TEST(ScoreDetectionsTest, EmptySets) {
+  EXPECT_EQ(score_detections({}, {}).detected(), 0u);
+  const DetectionCounts miss = score_detections({}, {"a.com"});
+  EXPECT_EQ(miss.fn, 1u);
+  const DetectionCounts noise = score_detections({"x.com"}, {});
+  EXPECT_EQ(noise.fp, 1u);
+}
+
+class OracleFixture : public ::testing::Test {
+ protected:
+  OracleFixture() {
+    truth_.set_label("known-bad.com", sim::TruthLabel::Malicious, 0);
+    truth_.set_label("unknown-bad.com", sim::TruthLabel::Malicious, 0);
+    truth_.set_label("adware.com", sim::TruthLabel::Grayware);
+    // Force deterministic reporting: probability 1 => always reported.
+    sim::IntelOracle::Params all;
+    all.vt_malicious = 1.0;
+    all.vt_grayware = 0.0;
+    all.ioc_given_vt = 0.0;
+    oracle_all_ = std::make_unique<sim::IntelOracle>(truth_, all);
+    sim::IntelOracle::Params none;
+    none.vt_malicious = 0.0;
+    none.vt_grayware = 0.0;
+    oracle_none_ = std::make_unique<sim::IntelOracle>(truth_, none);
+  }
+
+  sim::GroundTruth truth_;
+  std::unique_ptr<sim::IntelOracle> oracle_all_;
+  std::unique_ptr<sim::IntelOracle> oracle_none_;
+};
+
+TEST_F(OracleFixture, ClassificationCategories) {
+  EXPECT_EQ(classify_detection("known-bad.com", *oracle_all_),
+            ValidationCategory::KnownMalicious);
+  EXPECT_EQ(classify_detection("unknown-bad.com", *oracle_none_),
+            ValidationCategory::NewMalicious);
+  EXPECT_EQ(classify_detection("adware.com", *oracle_all_),
+            ValidationCategory::Suspicious);
+  EXPECT_EQ(classify_detection("fine.com", *oracle_all_),
+            ValidationCategory::Legitimate);
+}
+
+TEST_F(OracleFixture, ValidationCountsAndRates) {
+  const std::vector<std::string> detected = {"known-bad.com", "unknown-bad.com",
+                                             "adware.com", "fine.com"};
+  // With the "none" oracle both malicious domains count as new discoveries.
+  const ValidationCounts counts = validate_detections(detected, *oracle_none_);
+  EXPECT_EQ(counts.known_malicious, 0u);
+  EXPECT_EQ(counts.new_malicious, 2u);
+  EXPECT_EQ(counts.suspicious, 1u);
+  EXPECT_EQ(counts.legitimate, 1u);
+  EXPECT_EQ(counts.total(), 4u);
+  EXPECT_NEAR(counts.tdr(), 0.75, 1e-12);
+  EXPECT_NEAR(counts.fdr(), 0.25, 1e-12);
+  EXPECT_NEAR(counts.ndr(), 0.75, 1e-12);
+}
+
+TEST_F(OracleFixture, CategoryNames) {
+  EXPECT_STREQ(validation_category_name(ValidationCategory::KnownMalicious),
+               "VirusTotal and SOC");
+  EXPECT_STREQ(validation_category_name(ValidationCategory::NewMalicious),
+               "New malicious");
+}
+
+}  // namespace
+}  // namespace eid::eval

@@ -1,0 +1,87 @@
+#include "eval/roc.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace eid::eval {
+namespace {
+
+using Scored = std::vector<std::pair<double, bool>>;
+
+TEST(RocTest, PerfectSeparationHasAucOne) {
+  const Scored scored = {{0.9, true}, {0.8, true}, {0.2, false}, {0.1, false}};
+  EXPECT_DOUBLE_EQ(roc_auc(scored), 1.0);
+}
+
+TEST(RocTest, InvertedSeparationHasAucZero) {
+  const Scored scored = {{0.9, false}, {0.8, false}, {0.2, true}, {0.1, true}};
+  EXPECT_DOUBLE_EQ(roc_auc(scored), 0.0);
+}
+
+TEST(RocTest, AllTiedScoresGiveHalf) {
+  const Scored scored = {{0.5, true}, {0.5, false}, {0.5, true}, {0.5, false}};
+  EXPECT_DOUBLE_EQ(roc_auc(scored), 0.5);
+}
+
+TEST(RocTest, SingleClassReturnsHalf) {
+  EXPECT_DOUBLE_EQ(roc_auc(Scored{{0.5, true}, {0.7, true}}), 0.5);
+  EXPECT_DOUBLE_EQ(roc_auc(Scored{}), 0.5);
+}
+
+TEST(RocTest, KnownSmallExample) {
+  // positives at 0.8, 0.4; negatives at 0.6, 0.2:
+  // pairs won by positives: (0.8>0.6),(0.8>0.2),(0.4>0.2) = 3 of 4 -> 0.75.
+  const Scored scored = {{0.8, true}, {0.6, false}, {0.4, true}, {0.2, false}};
+  EXPECT_DOUBLE_EQ(roc_auc(scored), 0.75);
+}
+
+TEST(RocTest, CurveEndsAtOneOne) {
+  const Scored scored = {{0.9, true}, {0.5, false}, {0.3, true}, {0.1, false}};
+  const auto curve = roc_curve(scored);
+  ASSERT_FALSE(curve.empty());
+  EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().fpr, 1.0);
+  // Monotone in both axes as the threshold descends.
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].tpr, curve[i - 1].tpr);
+    EXPECT_GE(curve[i].fpr, curve[i - 1].fpr);
+    EXPECT_LT(curve[i].threshold, curve[i - 1].threshold);
+  }
+}
+
+TEST(RocTest, CurveGroupsTies) {
+  const Scored scored = {{0.5, true}, {0.5, false}, {0.9, true}};
+  const auto curve = roc_curve(scored);
+  ASSERT_EQ(curve.size(), 2u);  // thresholds 0.9 and 0.5
+  EXPECT_DOUBLE_EQ(curve[0].tpr, 0.5);
+  EXPECT_DOUBLE_EQ(curve[0].fpr, 0.0);
+}
+
+TEST(RocTest, EmptyClassYieldsEmptyCurve) {
+  EXPECT_TRUE(roc_curve(Scored{{0.4, true}}).empty());
+}
+
+TEST(RocTest, AucMatchesCurveTrapezoidOnRandomData) {
+  util::Rng rng(77);
+  Scored scored;
+  for (int i = 0; i < 500; ++i) {
+    const bool positive = rng.chance(0.3);
+    const double score = positive ? rng.normal(0.6, 0.2) : rng.normal(0.4, 0.2);
+    scored.emplace_back(score, positive);
+  }
+  const auto curve = roc_curve(scored);
+  double trapezoid = 0.0;
+  double prev_tpr = 0.0;
+  double prev_fpr = 0.0;
+  for (const auto& point : curve) {
+    trapezoid += (point.fpr - prev_fpr) * (point.tpr + prev_tpr) / 2.0;
+    prev_tpr = point.tpr;
+    prev_fpr = point.fpr;
+  }
+  EXPECT_NEAR(roc_auc(scored), trapezoid, 1e-9);
+  EXPECT_GT(roc_auc(scored), 0.6);  // the classes are genuinely separated
+}
+
+}  // namespace
+}  // namespace eid::eval

@@ -1,0 +1,140 @@
+// Runner-level behavior of the two evaluation harnesses (beyond the
+// end-to-end checks in integration_test.cpp).
+#include <gtest/gtest.h>
+
+#include "eval/ac_runner.h"
+#include "eval/lanl_runner.h"
+
+namespace eid::eval {
+namespace {
+
+sim::LanlConfig tiny_lanl() {
+  sim::LanlConfig config;
+  config.n_hosts = 100;
+  config.n_servers = 3;
+  config.n_popular = 50;
+  config.tail_per_day = 20;
+  config.automated_tail_per_day = 2;
+  config.server_tail_per_day = 10;
+  return config;
+}
+
+TEST(LanlRunnerTest, ChallengeAggregatesMatchDays) {
+  sim::LanlScenario scenario(tiny_lanl());
+  LanlRunner runner(scenario);
+  const LanlChallengeResult result = runner.run_challenge();
+  ASSERT_EQ(result.days.size(), 20u);
+
+  DetectionCounts recomputed;
+  DetectionCounts recomputed_training;
+  for (const auto& day : result.days) {
+    recomputed += day.counts;
+    if (day.challenge.training) recomputed_training += day.counts;
+  }
+  EXPECT_EQ(result.total.tp, recomputed.tp);
+  EXPECT_EQ(result.total.fp, recomputed.fp);
+  EXPECT_EQ(result.total.fn, recomputed.fn);
+  EXPECT_EQ(result.training_total.tp, recomputed_training.tp);
+  EXPECT_EQ(result.training_total.tp + result.testing_total.tp, result.total.tp);
+
+  DetectionCounts per_case_sum;
+  for (int case_id = 1; case_id <= 4; ++case_id) {
+    per_case_sum += result.per_case_training[case_id];
+    per_case_sum += result.per_case_testing[case_id];
+  }
+  EXPECT_EQ(per_case_sum.tp, result.total.tp);
+  EXPECT_EQ(per_case_sum.fn, result.total.fn);
+}
+
+TEST(LanlRunnerTest, HistoryGrowsAcrossChallenge) {
+  sim::LanlScenario scenario(tiny_lanl());
+  LanlRunner runner(scenario);
+  runner.bootstrap();
+  const std::size_t after_bootstrap = runner.history().size();
+  EXPECT_GT(after_bootstrap, 100u);
+  runner.finish_day(scenario.challenge_begin());
+  EXPECT_GT(runner.history().size(), after_bootstrap);
+}
+
+TEST(LanlRunnerTest, TraceCoversEveryDetectedDomain) {
+  sim::LanlScenario scenario(tiny_lanl());
+  LanlRunner runner(scenario);
+  runner.bootstrap();
+  const auto& challenge = scenario.cases().front();
+  for (util::Day day = scenario.challenge_begin(); day < challenge.day; ++day) {
+    runner.finish_day(day);
+  }
+  const core::DayAnalysis analysis = runner.analyze_day(challenge.day);
+  const LanlDayResult result = runner.run_case(challenge, analysis);
+  EXPECT_EQ(result.trace.size(), result.detected_domains.size());
+}
+
+sim::AcConfig tiny_ac() {
+  sim::AcConfig config;
+  config.n_hosts = 100;
+  config.n_popular = 50;
+  config.tail_per_day = 20;
+  config.automated_tail_per_day = 2;
+  config.grayware_per_day = 1;
+  config.campaigns_per_week = 5.0;
+  return config;
+}
+
+TEST(AcRunnerTest, OperationCoversEveryFebruaryDay) {
+  sim::AcScenario scenario(tiny_ac());
+  AcRunnerConfig config;
+  config.training_days = 7;
+  AcRunner runner(scenario, config);
+  runner.train();
+  std::vector<util::Day> seen;
+  runner.run_operation([&](util::Day day, const core::DayAnalysis& analysis) {
+    seen.push_back(day);
+    EXPECT_GT(analysis.graph.host_count(), 0u);
+  });
+  ASSERT_EQ(seen.size(), 28u);  // February 2014
+  EXPECT_EQ(seen.front(), scenario.operation_begin());
+  EXPECT_EQ(seen.back(), scenario.operation_end());
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], seen[i - 1] + 1);
+  }
+}
+
+TEST(AcRunnerTest, MonthReportCategoriesAreConsistent) {
+  sim::AcScenario scenario(tiny_ac());
+  AcRunnerConfig config;
+  config.training_days = 7;
+  AcRunner runner(scenario, config);
+  runner.train();
+  const AcRunner::MonthReport report = runner.run_month(0.4, 0.33, 0.33);
+  EXPECT_EQ(report.cc.total(), report.cc_domains.size());
+  EXPECT_EQ(report.nohint.total(), report.nohint_domains.size());
+  EXPECT_EQ(report.sochints.total(), report.sochints_domains.size());
+  // The no-hint detections include every C&C detection by construction.
+  EXPECT_GE(report.nohint.total(), report.cc.total());
+  // Seed IOCs never appear among SOC-hints detections.
+  const auto seeds = scenario.ioc_seeds();
+  for (const auto& name : report.sochints_domains) {
+    EXPECT_EQ(std::find(seeds.begin(), seeds.end(), name), seeds.end()) << name;
+  }
+  EXPECT_GT(report.automated_domains, 0u);
+}
+
+TEST(AcRunnerTest, StricterCcThresholdDetectsSubset) {
+  sim::AcScenario scenario(tiny_ac());
+  AcRunnerConfig config;
+  config.training_days = 7;
+  AcRunner runner(scenario, config);
+  runner.train();
+  std::size_t loose = 0;
+  std::size_t strict = 0;
+  int days = 0;
+  runner.run_operation([&](util::Day, const core::DayAnalysis& analysis) {
+    if (++days > 7) return;
+    loose += runner.pipeline().detect_cc(analysis, 0.3).size();
+    strict += runner.pipeline().detect_cc(analysis, 0.6).size();
+  });
+  EXPECT_GE(loose, strict);
+}
+
+}  // namespace
+}  // namespace eid::eval

@@ -1,0 +1,104 @@
+#include "features/automation.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace eid::features {
+namespace {
+
+using test::DayBuilder;
+
+std::vector<graph::DomainId> all_domains(const graph::DayGraph& graph) {
+  std::vector<graph::DomainId> out;
+  for (graph::DomainId d = 0; d < graph.domain_count(); ++d) out.push_back(d);
+  return out;
+}
+
+TEST(AutomationTest, DetectsBeaconingPair) {
+  const graph::DayGraph graph =
+      DayBuilder().beacon("h1", "cc.com", 1000, 600, 50).build();
+  const timing::PeriodicityDetector detector;
+  const auto analysis =
+      AutomationAnalysis::analyze(graph, all_domains(graph), detector);
+  EXPECT_EQ(analysis.pair_count(), 1u);
+  const graph::DomainId cc = graph.find_domain("cc.com");
+  ASSERT_TRUE(analysis.is_automated(cc));
+  const DomainAutomation* agg = analysis.domain(cc);
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->host_count(), 1u);
+  EXPECT_NEAR(agg->dominant_period(), 600.0, 1.0);
+}
+
+TEST(AutomationTest, IgnoresNonCandidateDomains) {
+  const graph::DayGraph graph =
+      DayBuilder().beacon("h1", "cc.com", 1000, 600, 50).build();
+  const timing::PeriodicityDetector detector;
+  const auto analysis = AutomationAnalysis::analyze(graph, {}, detector);
+  EXPECT_EQ(analysis.pair_count(), 0u);
+  EXPECT_FALSE(analysis.is_automated(graph.find_domain("cc.com")));
+}
+
+TEST(AutomationTest, SporadicVisitsNotAutomated) {
+  DayBuilder builder;
+  builder.visit("h1", "site.com", 1000)
+      .visit("h1", "site.com", 1400)
+      .visit("h1", "site.com", 9000)
+      .visit("h1", "site.com", 9100)
+      .visit("h1", "site.com", 30000)
+      .visit("h1", "site.com", 70000);
+  const graph::DayGraph graph = builder.build();
+  const timing::PeriodicityDetector detector;
+  const auto analysis =
+      AutomationAnalysis::analyze(graph, all_domains(graph), detector);
+  EXPECT_FALSE(analysis.is_automated(graph.find_domain("site.com")));
+}
+
+TEST(AutomationTest, MultipleHostsCountedPerDomain) {
+  DayBuilder builder;
+  builder.beacon("h1", "cc.com", 1000, 300, 40);
+  builder.beacon("h2", "cc.com", 2000, 300, 40);
+  builder.beacon("h3", "cc.com", 3000, 900, 40);
+  builder.visit("h4", "cc.com", 5000);  // single visit: not automated
+  const graph::DayGraph graph = builder.build();
+  const timing::PeriodicityDetector detector;
+  const auto analysis =
+      AutomationAnalysis::analyze(graph, all_domains(graph), detector);
+  const DomainAutomation* agg = analysis.domain(graph.find_domain("cc.com"));
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->host_count(), 3u);
+  EXPECT_EQ(analysis.pair_count(), 3u);
+}
+
+TEST(AutomationTest, DominantPeriodPrefersCleanestBeacon) {
+  DayBuilder builder;
+  builder.beacon("clean", "cc.com", 1000, 600, 60);
+  // A noisier automated edge: same domain, slightly jittered manually.
+  for (int i = 0; i < 30; ++i) {
+    builder.visit("noisy", "cc.com", 2000 + i * 300 + (i % 3) * 4);
+  }
+  const graph::DayGraph graph = builder.build();
+  const timing::PeriodicityDetector detector;
+  const auto analysis =
+      AutomationAnalysis::analyze(graph, all_domains(graph), detector);
+  const DomainAutomation* agg = analysis.domain(graph.find_domain("cc.com"));
+  ASSERT_NE(agg, nullptr);
+  EXPECT_NEAR(agg->dominant_period(), 600.0, 1.0);
+}
+
+TEST(AutomationTest, AutomatedDomainsSortedAndComplete) {
+  DayBuilder builder;
+  builder.beacon("h1", "b.com", 1000, 300, 30);
+  builder.beacon("h1", "a.com", 1000, 300, 30);
+  builder.visit("h1", "c.com", 1000);
+  const graph::DayGraph graph = builder.build();
+  const timing::PeriodicityDetector detector;
+  const auto analysis =
+      AutomationAnalysis::analyze(graph, all_domains(graph), detector);
+  const auto automated = analysis.automated_domains();
+  ASSERT_EQ(automated.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(automated.begin(), automated.end()));
+}
+
+}  // namespace
+}  // namespace eid::features

@@ -1,0 +1,157 @@
+#include "features/cc_features.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace eid::features {
+namespace {
+
+using test::DayBuilder;
+using test::MapWhois;
+
+constexpr util::Day kToday = 16100;
+
+struct Fixture {
+  graph::DayGraph graph;
+  AutomationAnalysis automation;
+  profile::UaHistory ua_history{3};
+  MapWhois whois;
+
+  explicit Fixture(const DayBuilder& builder) : graph(builder.build()) {
+    std::vector<graph::DomainId> all;
+    for (graph::DomainId d = 0; d < graph.domain_count(); ++d) all.push_back(d);
+    automation = AutomationAnalysis::analyze(graph, all,
+                                             timing::PeriodicityDetector{});
+  }
+
+  CcFeatureRow extract(const std::string& domain,
+                       const WhoisDefaults& defaults = {}) const {
+    return extract_cc_features(graph, graph.find_domain(domain), automation,
+                               ua_history, whois, kToday, defaults);
+  }
+};
+
+TEST(CcFeaturesTest, CountsHostsAndAutoHosts) {
+  DayBuilder builder;
+  builder.beacon("h1", "cc.com", 1000, 300, 40);
+  builder.beacon("h2", "cc.com", 1000, 300, 40);
+  builder.visit("h3", "cc.com", 5000);
+  Fixture fx(builder);
+  const CcFeatureRow row = fx.extract("cc.com");
+  EXPECT_DOUBLE_EQ(row.no_hosts, 3.0);
+  EXPECT_DOUBLE_EQ(row.auto_hosts, 2.0);
+}
+
+TEST(CcFeaturesTest, NoRefFraction) {
+  DayBuilder builder;
+  builder.visit("h1", "d.com", 100, {0}, "UA", true);   // has referer
+  builder.visit("h2", "d.com", 200, {0}, "UA", false);  // none
+  builder.visit("h3", "d.com", 300, {0}, "UA", false);  // none
+  builder.visit("h4", "d.com", 400, {0}, "UA", true);
+  Fixture fx(builder);
+  const CcFeatureRow row = fx.extract("d.com");
+  EXPECT_DOUBLE_EQ(row.no_ref, 0.5);
+}
+
+TEST(CcFeaturesTest, RareUaFraction) {
+  DayBuilder builder;
+  builder.visit("h1", "d.com", 100, {0}, "CommonUA");
+  builder.visit("h2", "d.com", 200, {0}, "WeirdUA");
+  builder.visit("h3", "d.com", 300, {0}, "");  // no UA counts as rare
+  Fixture fx(builder);
+  for (const char* h : {"x1", "x2", "x3"}) fx.ua_history.observe("CommonUA", h);
+  const CcFeatureRow row = fx.extract("d.com");
+  EXPECT_NEAR(row.rare_ua, 2.0 / 3.0, 1e-12);
+}
+
+TEST(CcFeaturesTest, MixedUaHostNotRare) {
+  // A host that used a common UA at least once is not "rare-UA" even if it
+  // also used a rare one.
+  DayBuilder builder;
+  builder.visit("h1", "d.com", 100, {0}, "CommonUA");
+  builder.visit("h1", "d.com", 200, {0}, "WeirdUA");
+  Fixture fx(builder);
+  for (const char* h : {"x1", "x2", "x3"}) fx.ua_history.observe("CommonUA", h);
+  const CcFeatureRow row = fx.extract("d.com");
+  EXPECT_DOUBLE_EQ(row.rare_ua, 0.0);
+}
+
+TEST(CcFeaturesTest, RegistrationFeatures) {
+  DayBuilder builder;
+  builder.visit("h1", "young.com", 100);
+  Fixture fx(builder);
+  fx.whois.add("young.com", kToday - 7, kToday + 100);
+  const CcFeatureRow row = fx.extract("young.com");
+  EXPECT_DOUBLE_EQ(row.dom_age, 7.0);
+  EXPECT_DOUBLE_EQ(row.dom_validity, 100.0);
+  EXPECT_TRUE(row.whois_resolved);
+}
+
+TEST(CcFeaturesTest, WhoisFailureUsesDefaults) {
+  DayBuilder builder;
+  builder.visit("h1", "unknown.com", 100);
+  Fixture fx(builder);
+  WhoisDefaults defaults;
+  defaults.age_days = 222.0;
+  defaults.validity_days = 111.0;
+  const CcFeatureRow row = fx.extract("unknown.com", defaults);
+  EXPECT_DOUBLE_EQ(row.dom_age, 222.0);
+  EXPECT_DOUBLE_EQ(row.dom_validity, 111.0);
+  EXPECT_FALSE(row.whois_resolved);
+}
+
+TEST(CcFeaturesTest, FutureRegistrationTreatedAsUnregistered) {
+  // §VI-D: DGA domains can be registered after detection; the WHOIS record
+  // must not leak into the features before its registration date.
+  DayBuilder builder;
+  builder.visit("h1", "dga.info", 100);
+  Fixture fx(builder);
+  fx.whois.add("dga.info", kToday + 5, kToday + 200);
+  WhoisDefaults defaults;
+  defaults.age_days = 50.0;
+  const CcFeatureRow row = fx.extract("dga.info", defaults);
+  EXPECT_DOUBLE_EQ(row.dom_age, 50.0);
+  EXPECT_FALSE(row.whois_resolved);
+}
+
+TEST(CcFeaturesTest, DnsFlavorHasZeroHttpFeatures) {
+  // DNS-derived events carry no HTTP context: NoRef and RareUA must be 0,
+  // matching the reduced LANL feature set (§V-B).
+  graph::DayGraph graph;
+  logs::ConnEvent ev;
+  ev.ts = 100;
+  ev.host = "h1";
+  ev.domain = "d.c3";
+  ev.has_http_context = false;
+  graph.add_event(ev);
+  graph.finalize();
+  AutomationAnalysis automation;
+  profile::UaHistory ua_history(3);
+  MapWhois whois;
+  const CcFeatureRow row =
+      extract_cc_features(graph, graph.find_domain("d.c3"), automation,
+                          ua_history, whois, kToday, WhoisDefaults{});
+  EXPECT_DOUBLE_EQ(row.rare_ua, 0.0);
+  // DNS edges never record referers, so every host counts as no-referer;
+  // the LANL scorer simply does not use these features.
+  EXPECT_DOUBLE_EQ(row.no_hosts, 1.0);
+}
+
+TEST(CcFeaturesTest, AsArrayOrderMatchesNames) {
+  CcFeatureRow row;
+  row.no_hosts = 1;
+  row.auto_hosts = 2;
+  row.no_ref = 3;
+  row.rare_ua = 4;
+  row.dom_age = 5;
+  row.dom_validity = 6;
+  const auto arr = row.as_array();
+  EXPECT_DOUBLE_EQ(arr[0], 1);
+  EXPECT_DOUBLE_EQ(arr[5], 6);
+  EXPECT_STREQ(kCcFeatureNames[0], "NoHosts");
+  EXPECT_STREQ(kCcFeatureNames[5], "DomValidity");
+}
+
+}  // namespace
+}  // namespace eid::features

@@ -1,0 +1,132 @@
+#include "features/similarity_features.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace eid::features {
+namespace {
+
+using test::DayBuilder;
+using test::MapWhois;
+
+constexpr util::Day kToday = 16100;
+
+util::Ipv4 ip(std::uint32_t a, std::uint32_t b, std::uint32_t c, std::uint32_t d) {
+  return util::Ipv4::from_octets(a, b, c, d);
+}
+
+TEST(SimilarityTest, MinVisitGapOverSharedHosts) {
+  DayBuilder builder;
+  builder.visit("h1", "labeled.com", 1000);
+  builder.visit("h1", "candidate.com", 1090);
+  builder.visit("h2", "labeled.com", 5000);
+  builder.visit("h2", "candidate.com", 5020);
+  const graph::DayGraph graph = builder.build();
+  const std::vector<graph::DomainId> labeled = {graph.find_domain("labeled.com")};
+  EXPECT_DOUBLE_EQ(
+      min_visit_gap(graph, graph.find_domain("candidate.com"), labeled), 20.0);
+}
+
+TEST(SimilarityTest, NoSharedHostGivesSentinelGap) {
+  DayBuilder builder;
+  builder.visit("h1", "labeled.com", 1000);
+  builder.visit("h2", "candidate.com", 1010);
+  const graph::DayGraph graph = builder.build();
+  const std::vector<graph::DomainId> labeled = {graph.find_domain("labeled.com")};
+  EXPECT_DOUBLE_EQ(
+      min_visit_gap(graph, graph.find_domain("candidate.com"), labeled),
+      kNoSharedVisitGap);
+}
+
+TEST(SimilarityTest, GapIgnoresSelfComparison) {
+  DayBuilder builder;
+  builder.visit("h1", "d.com", 1000);
+  const graph::DayGraph graph = builder.build();
+  const std::vector<graph::DomainId> labeled = {graph.find_domain("d.com")};
+  EXPECT_DOUBLE_EQ(min_visit_gap(graph, graph.find_domain("d.com"), labeled),
+                   kNoSharedVisitGap);
+}
+
+TEST(SimilarityTest, IpProximity24) {
+  DayBuilder builder;
+  builder.visit("h1", "labeled.com", 1000, ip(203, 0, 113, 5));
+  builder.visit("h2", "near.com", 2000, ip(203, 0, 113, 77));
+  builder.visit("h3", "same16.com", 3000, ip(203, 0, 99, 1));
+  builder.visit("h4", "far.com", 4000, ip(198, 51, 100, 1));
+  const graph::DayGraph graph = builder.build();
+  const std::vector<graph::DomainId> labeled = {graph.find_domain("labeled.com")};
+
+  const IpProximity near = ip_proximity(graph, graph.find_domain("near.com"), labeled);
+  EXPECT_TRUE(near.share24);
+  EXPECT_TRUE(near.share16);
+
+  const IpProximity mid = ip_proximity(graph, graph.find_domain("same16.com"), labeled);
+  EXPECT_FALSE(mid.share24);
+  EXPECT_TRUE(mid.share16);
+
+  const IpProximity far = ip_proximity(graph, graph.find_domain("far.com"), labeled);
+  EXPECT_FALSE(far.share24);
+  EXPECT_FALSE(far.share16);
+}
+
+TEST(SimilarityTest, FullRowCombinesEverything) {
+  DayBuilder builder;
+  builder.visit("h1", "labeled.com", 1000, ip(203, 0, 113, 5));
+  builder.visit("h1", "cand.com", 1030, ip(203, 0, 113, 9), "WeirdUA", false);
+  builder.visit("h2", "cand.com", 9000, ip(203, 0, 113, 9), "CommonUA", true);
+  const graph::DayGraph graph = builder.build();
+  profile::UaHistory ua_history(2);
+  ua_history.observe("CommonUA", "x1");
+  ua_history.observe("CommonUA", "x2");
+  MapWhois whois;
+  whois.add("cand.com", kToday - 10, kToday + 60);
+  const std::vector<graph::DomainId> labeled = {graph.find_domain("labeled.com")};
+  const SimilarityFeatureRow row = extract_similarity_features(
+      graph, graph.find_domain("cand.com"), labeled, ua_history, whois, kToday,
+      WhoisDefaults{});
+  EXPECT_DOUBLE_EQ(row.no_hosts, 2.0);
+  EXPECT_DOUBLE_EQ(row.dom_interval, 30.0);
+  EXPECT_DOUBLE_EQ(row.ip24, 1.0);
+  EXPECT_DOUBLE_EQ(row.ip16, 1.0);
+  EXPECT_DOUBLE_EQ(row.no_ref, 0.5);   // h1 had no referer, h2 did
+  EXPECT_DOUBLE_EQ(row.rare_ua, 0.5);  // h1 rare UA, h2 common
+  EXPECT_DOUBLE_EQ(row.dom_age, 10.0);
+  EXPECT_DOUBLE_EQ(row.dom_validity, 60.0);
+}
+
+TEST(SimilarityTest, GapShrinksWithMoreLabeledDomains) {
+  // Property: adding labeled domains can only decrease the min gap.
+  DayBuilder builder;
+  builder.visit("h1", "cand.com", 1000);
+  builder.visit("h1", "far-labeled.com", 50000);
+  builder.visit("h1", "near-labeled.com", 1100);
+  const graph::DayGraph graph = builder.build();
+  std::vector<graph::DomainId> labeled = {graph.find_domain("far-labeled.com")};
+  const double gap1 = min_visit_gap(graph, graph.find_domain("cand.com"), labeled);
+  labeled.push_back(graph.find_domain("near-labeled.com"));
+  const double gap2 = min_visit_gap(graph, graph.find_domain("cand.com"), labeled);
+  EXPECT_LE(gap2, gap1);
+  EXPECT_DOUBLE_EQ(gap2, 100.0);
+}
+
+TEST(SimilarityTest, AsArrayOrderMatchesNames) {
+  SimilarityFeatureRow row;
+  row.no_hosts = 1;
+  row.dom_interval = 2;
+  row.ip24 = 3;
+  row.ip16 = 4;
+  row.no_ref = 5;
+  row.rare_ua = 6;
+  row.dom_age = 7;
+  row.dom_validity = 8;
+  const auto arr = row.as_array();
+  for (std::size_t i = 0; i < kSimFeatureCount; ++i) {
+    EXPECT_DOUBLE_EQ(arr[i], static_cast<double>(i + 1));
+  }
+  EXPECT_STREQ(kSimFeatureNames[1], "DomInterval");
+  EXPECT_STREQ(kSimFeatureNames[3], "IP16");
+}
+
+}  // namespace
+}  // namespace eid::features

@@ -1,0 +1,148 @@
+#include "graph/day_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace eid::graph {
+namespace {
+
+logs::ConnEvent event(util::TimePoint ts, std::string host, std::string domain,
+                      std::string ua = "", bool referer = false) {
+  logs::ConnEvent ev;
+  ev.ts = ts;
+  ev.host = std::move(host);
+  ev.domain = std::move(domain);
+  ev.user_agent = std::move(ua);
+  ev.has_referer = referer;
+  ev.has_http_context = true;
+  ev.dest_ip = util::Ipv4::from_octets(1, 2, 3, 4);
+  return ev;
+}
+
+TEST(DayGraphTest, BasicAdjacency) {
+  DayGraph graph;
+  graph.add_event(event(10, "h1", "a.com"));
+  graph.add_event(event(20, "h1", "b.com"));
+  graph.add_event(event(30, "h2", "a.com"));
+  graph.finalize();
+  EXPECT_EQ(graph.host_count(), 2u);
+  EXPECT_EQ(graph.domain_count(), 2u);
+  EXPECT_EQ(graph.edge_count(), 3u);
+
+  const DomainId a = graph.find_domain("a.com");
+  ASSERT_NE(a, kNoId);
+  EXPECT_EQ(graph.domain_hosts(a).size(), 2u);
+  const HostId h1 = graph.find_host("h1");
+  ASSERT_NE(h1, kNoId);
+  EXPECT_EQ(graph.host_domains(h1).size(), 2u);
+}
+
+TEST(DayGraphTest, EdgeTimesSortedAfterFinalize) {
+  DayGraph graph;
+  graph.add_event(event(30, "h1", "a.com"));
+  graph.add_event(event(10, "h1", "a.com"));
+  graph.add_event(event(20, "h1", "a.com"));
+  graph.finalize();
+  const EdgeData* edge =
+      graph.edge(graph.find_host("h1"), graph.find_domain("a.com"));
+  ASSERT_NE(edge, nullptr);
+  ASSERT_EQ(edge->times.size(), 3u);
+  EXPECT_EQ(edge->times[0], 10);
+  EXPECT_EQ(edge->times[2], 30);
+  EXPECT_EQ(graph.first_contact(graph.find_host("h1"), graph.find_domain("a.com")),
+            std::optional<util::TimePoint>(10));
+}
+
+TEST(DayGraphTest, MissingEdgeIsNull) {
+  DayGraph graph;
+  graph.add_event(event(10, "h1", "a.com"));
+  graph.add_event(event(10, "h2", "b.com"));
+  graph.finalize();
+  EXPECT_EQ(graph.edge(graph.find_host("h1"), graph.find_domain("b.com")), nullptr);
+  EXPECT_FALSE(
+      graph.first_contact(graph.find_host("h1"), graph.find_domain("b.com"))
+          .has_value());
+}
+
+TEST(DayGraphTest, RefererAggregation) {
+  DayGraph graph;
+  graph.add_event(event(10, "h1", "a.com", "UA", false));
+  graph.add_event(event(20, "h1", "a.com", "UA", true));
+  graph.add_event(event(10, "h1", "b.com", "UA", false));
+  graph.finalize();
+  EXPECT_TRUE(
+      graph.edge(graph.find_host("h1"), graph.find_domain("a.com"))->any_referer);
+  EXPECT_FALSE(
+      graph.edge(graph.find_host("h1"), graph.find_domain("b.com"))->any_referer);
+}
+
+TEST(DayGraphTest, UserAgentDeduplication) {
+  DayGraph graph;
+  graph.add_event(event(10, "h1", "a.com", "UA-1"));
+  graph.add_event(event(20, "h1", "a.com", "UA-1"));
+  graph.add_event(event(30, "h1", "a.com", "UA-2"));
+  graph.add_event(event(40, "h1", "a.com", ""));
+  graph.finalize();
+  const EdgeData* edge =
+      graph.edge(graph.find_host("h1"), graph.find_domain("a.com"));
+  ASSERT_NE(edge, nullptr);
+  EXPECT_EQ(edge->user_agents.size(), 2u);
+  EXPECT_TRUE(edge->any_empty_ua);
+}
+
+TEST(DayGraphTest, DomainIpsDeduplicated) {
+  DayGraph graph;
+  auto e1 = event(10, "h1", "a.com");
+  auto e2 = event(20, "h2", "a.com");
+  auto e3 = event(30, "h3", "a.com");
+  e3.dest_ip = util::Ipv4::from_octets(9, 9, 9, 9);
+  graph.add_event(e1);
+  graph.add_event(e2);
+  graph.add_event(e3);
+  graph.finalize();
+  EXPECT_EQ(graph.domain_ips(graph.find_domain("a.com")).size(), 2u);
+}
+
+TEST(DayGraphTest, UnknownNamesReturnNoId) {
+  DayGraph graph;
+  graph.add_event(event(10, "h1", "a.com"));
+  graph.finalize();
+  EXPECT_EQ(graph.find_host("nope"), kNoId);
+  EXPECT_EQ(graph.find_domain("nope.com"), kNoId);
+}
+
+TEST(DayGraphTest, AdjacencyIsDeterministicallySorted) {
+  DayGraph graph;
+  graph.add_event(event(10, "h3", "a.com"));
+  graph.add_event(event(10, "h1", "a.com"));
+  graph.add_event(event(10, "h2", "a.com"));
+  graph.finalize();
+  const auto hosts = graph.domain_hosts(graph.find_domain("a.com"));
+  ASSERT_EQ(hosts.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(hosts.begin(), hosts.end()));
+}
+
+TEST(DayGraphTest, LargeGraphConsistency) {
+  DayGraph graph;
+  for (int h = 0; h < 100; ++h) {
+    for (int d = 0; d < 20; ++d) {
+      if ((h + d) % 3 == 0) {
+        graph.add_event(event(h * 100 + d, "host" + std::to_string(h),
+                              "dom" + std::to_string(d) + ".com"));
+      }
+    }
+  }
+  graph.finalize();
+  std::size_t total_from_domains = 0;
+  for (DomainId d = 0; d < graph.domain_count(); ++d) {
+    total_from_domains += graph.domain_hosts(d).size();
+  }
+  std::size_t total_from_hosts = 0;
+  for (HostId h = 0; h < graph.host_count(); ++h) {
+    total_from_hosts += graph.host_domains(h).size();
+  }
+  EXPECT_EQ(total_from_domains, graph.edge_count());
+  EXPECT_EQ(total_from_hosts, graph.edge_count());
+}
+
+}  // namespace
+}  // namespace eid::graph

@@ -1,0 +1,61 @@
+#include "logs/dhcp.h"
+
+#include <gtest/gtest.h>
+
+namespace eid::logs {
+namespace {
+
+TEST(DhcpTest, ResolvesWithinLease) {
+  DhcpTable table;
+  table.add_lease({"10.0.0.5", 1000, 2000, "ws-1.corp"});
+  EXPECT_EQ(table.resolve("10.0.0.5", 1000).value_or(""), "ws-1.corp");
+  EXPECT_EQ(table.resolve("10.0.0.5", 1999).value_or(""), "ws-1.corp");
+}
+
+TEST(DhcpTest, OutsideLeaseFails) {
+  DhcpTable table;
+  table.add_lease({"10.0.0.5", 1000, 2000, "ws-1.corp"});
+  EXPECT_FALSE(table.resolve("10.0.0.5", 999).has_value());
+  EXPECT_FALSE(table.resolve("10.0.0.5", 2000).has_value());  // end-exclusive
+  EXPECT_FALSE(table.resolve("10.0.0.9", 1500).has_value());
+}
+
+TEST(DhcpTest, SameIpReassignedOverTime) {
+  DhcpTable table;
+  table.add_lease({"10.0.0.5", 0, 100, "ws-a.corp"});
+  table.add_lease({"10.0.0.5", 100, 200, "ws-b.corp"});
+  table.add_lease({"10.0.0.5", 250, 400, "ws-c.corp"});
+  EXPECT_EQ(table.resolve("10.0.0.5", 50).value_or(""), "ws-a.corp");
+  EXPECT_EQ(table.resolve("10.0.0.5", 150).value_or(""), "ws-b.corp");
+  EXPECT_FALSE(table.resolve("10.0.0.5", 220).has_value());  // gap
+  EXPECT_EQ(table.resolve("10.0.0.5", 300).value_or(""), "ws-c.corp");
+}
+
+TEST(DhcpTest, OutOfOrderInsertionStillResolves) {
+  DhcpTable table;
+  table.add_lease({"10.0.0.5", 300, 400, "ws-late.corp"});
+  table.add_lease({"10.0.0.5", 0, 100, "ws-early.corp"});
+  table.add_lease({"10.0.0.5", 100, 300, "ws-mid.corp"});
+  EXPECT_EQ(table.resolve("10.0.0.5", 10).value_or(""), "ws-early.corp");
+  EXPECT_EQ(table.resolve("10.0.0.5", 200).value_or(""), "ws-mid.corp");
+  EXPECT_EQ(table.resolve("10.0.0.5", 350).value_or(""), "ws-late.corp");
+}
+
+TEST(DhcpTest, OverlappingLeasesLaterWins) {
+  DhcpTable table;
+  table.add_lease({"10.0.0.5", 0, 1000, "ws-old.corp"});
+  table.add_lease({"10.0.0.5", 500, 1500, "ws-new.corp"});
+  EXPECT_EQ(table.resolve("10.0.0.5", 700).value_or(""), "ws-new.corp");
+  EXPECT_EQ(table.resolve("10.0.0.5", 100).value_or(""), "ws-old.corp");
+}
+
+TEST(DhcpTest, LeaseCount) {
+  DhcpTable table;
+  EXPECT_EQ(table.lease_count(), 0u);
+  table.add_lease({"10.0.0.1", 0, 10, "a"});
+  table.add_lease({"10.0.0.2", 0, 10, "b"});
+  EXPECT_EQ(table.lease_count(), 2u);
+}
+
+}  // namespace
+}  // namespace eid::logs

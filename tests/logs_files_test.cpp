@@ -1,0 +1,131 @@
+#include "logs/files.h"
+
+#include <gtest/gtest.h>
+
+#include "logs/io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace eid::logs {
+namespace {
+
+class FilesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("eid-files-test-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+DnsRecord dns(util::TimePoint ts, const std::string& src,
+              const std::string& domain) {
+  DnsRecord rec;
+  rec.ts = ts;
+  rec.src = src;
+  rec.domain = domain;
+  rec.response_ip = util::Ipv4::from_octets(1, 2, 3, 4);
+  return rec;
+}
+
+TEST_F(FilesTest, DnsRoundTrip) {
+  const std::vector<DnsRecord> records = {dns(1, "h1", "a.com"),
+                                          dns(2, "h2", "b.com"),
+                                          dns(3, "h3", "c.com")};
+  const auto path = dir_ / "dns.tsv";
+  ASSERT_TRUE(write_dns_file(path, records));
+  FileReadStats stats;
+  const auto loaded = read_dns_file(path, &stats);
+  EXPECT_TRUE(stats.opened);
+  EXPECT_EQ(stats.lines, 3u);
+  EXPECT_EQ(stats.parsed, 3u);
+  EXPECT_EQ(stats.malformed, 0u);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded[1].src, "h2");
+  EXPECT_EQ(loaded[1].domain, "b.com");
+}
+
+TEST_F(FilesTest, MalformedLinesSkippedAndCounted) {
+  const auto path = dir_ / "mixed.tsv";
+  {
+    std::ofstream out(path);
+    out << format_dns_line(dns(1, "h1", "good.com")) << "\n";
+    out << "this is not a record\n";
+    out << "\n";  // blank: ignored entirely
+    out << format_dns_line(dns(2, "h2", "also-good.com")) << "\n";
+  }
+  FileReadStats stats;
+  const auto loaded = read_dns_file(path, &stats);
+  EXPECT_EQ(stats.lines, 3u);  // blanks not counted
+  EXPECT_EQ(stats.parsed, 2u);
+  EXPECT_EQ(stats.malformed, 1u);
+  ASSERT_EQ(loaded.size(), 2u);
+}
+
+TEST_F(FilesTest, MissingFileReportsNotOpened) {
+  FileReadStats stats;
+  const auto loaded = read_dns_file(dir_ / "nope.tsv", &stats);
+  EXPECT_TRUE(loaded.empty());
+  EXPECT_FALSE(stats.opened);
+}
+
+TEST_F(FilesTest, ProxyRoundTrip) {
+  ProxyRecord rec;
+  rec.ts = 99;
+  rec.collector = "px-eu";
+  rec.src_ip = "10.0.0.1";
+  rec.domain = "example.com";
+  rec.user_agent = "UA with spaces";
+  rec.referer = "";
+  const auto path = dir_ / "proxy.tsv";
+  ASSERT_TRUE(write_proxy_file(path, {rec}));
+  const auto loaded = read_proxy_file(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].collector, "px-eu");
+  EXPECT_EQ(loaded[0].user_agent, "UA with spaces");
+  EXPECT_TRUE(loaded[0].referer.empty());
+}
+
+TEST_F(FilesTest, DhcpRoundTripAndValidation) {
+  const std::vector<DhcpLease> leases = {
+      {"10.0.0.1", 100, 200, "ws-1.corp"},
+      {"10.0.0.2", 150, 400, "ws-2.corp"},
+  };
+  const auto path = dir_ / "dhcp.tsv";
+  ASSERT_TRUE(write_dhcp_file(path, leases));
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "10.0.0.3\t500\t400\tws-bad.corp\n";  // end < start: rejected
+    out << "10.0.0.4\tx\t600\tws-bad2.corp\n";   // bad start: rejected
+  }
+  FileReadStats stats;
+  const auto loaded = read_dhcp_file(path, &stats);
+  EXPECT_EQ(stats.parsed, 2u);
+  EXPECT_EQ(stats.malformed, 2u);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].hostname, "ws-1.corp");
+}
+
+TEST_F(FilesTest, LargeFileRoundTrip) {
+  std::vector<DnsRecord> records;
+  for (int i = 0; i < 5000; ++i) {
+    records.push_back(dns(i, "h" + std::to_string(i % 50),
+                          "d" + std::to_string(i) + ".com"));
+  }
+  const auto path = dir_ / "large.tsv";
+  ASSERT_TRUE(write_dns_file(path, records));
+  const auto loaded = read_dns_file(path);
+  ASSERT_EQ(loaded.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); i += 997) {
+    EXPECT_EQ(loaded[i].domain, records[i].domain);
+    EXPECT_EQ(loaded[i].ts, records[i].ts);
+  }
+}
+
+}  // namespace
+}  // namespace eid::logs

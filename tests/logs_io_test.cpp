@@ -1,0 +1,99 @@
+#include "logs/io.h"
+
+#include <gtest/gtest.h>
+
+namespace eid::logs {
+namespace {
+
+TEST(LogIoTest, DnsRoundTrip) {
+  DnsRecord rec;
+  rec.ts = 1360000000;
+  rec.src = "10.1.2.3";
+  rec.domain = "www.example.com";
+  rec.type = DnsType::A;
+  rec.response_ip = util::Ipv4::from_octets(93, 184, 216, 34);
+  const auto parsed = parse_dns_line(format_dns_line(rec));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->ts, rec.ts);
+  EXPECT_EQ(parsed->src, rec.src);
+  EXPECT_EQ(parsed->domain, rec.domain);
+  EXPECT_EQ(parsed->type, rec.type);
+  EXPECT_EQ(parsed->response_ip, rec.response_ip);
+}
+
+TEST(LogIoTest, DnsNoResponseIp) {
+  DnsRecord rec;
+  rec.ts = 5;
+  rec.src = "h";
+  rec.domain = "d.com";
+  rec.type = DnsType::TXT;
+  const auto parsed = parse_dns_line(format_dns_line(rec));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->response_ip.has_value());
+  EXPECT_EQ(parsed->type, DnsType::TXT);
+}
+
+TEST(LogIoTest, DnsParseRejectsMalformed) {
+  EXPECT_FALSE(parse_dns_line("").has_value());
+  EXPECT_FALSE(parse_dns_line("1\t2\t3").has_value());
+  EXPECT_FALSE(parse_dns_line("x\th\td.com\tA\t-").has_value());       // bad ts
+  EXPECT_FALSE(parse_dns_line("1\th\td.com\tA\t999.0.0.1").has_value());  // bad ip
+  EXPECT_FALSE(parse_dns_line("1\t\td.com\tA\t-").has_value());        // empty src
+}
+
+TEST(LogIoTest, ProxyRoundTrip) {
+  ProxyRecord rec;
+  rec.ts = 1391212800;
+  rec.collector = "px-eu";
+  rec.src_ip = "10.4.5.6";
+  rec.hostname = "ws-42.corp";
+  rec.domain = "evil.example.ru";
+  rec.dest_ip = util::Ipv4::from_octets(203, 0, 113, 7);
+  rec.url_path = "/gate.php?id=99";
+  rec.method = HttpMethod::Post;
+  rec.status = 404;
+  rec.user_agent = "Mozilla/5.0 (test)";
+  rec.referer = "start.example.com";
+  const auto parsed = parse_proxy_line(format_proxy_line(rec));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->ts, rec.ts);
+  EXPECT_EQ(parsed->collector, rec.collector);
+  EXPECT_EQ(parsed->src_ip, rec.src_ip);
+  EXPECT_EQ(parsed->hostname, rec.hostname);
+  EXPECT_EQ(parsed->domain, rec.domain);
+  EXPECT_EQ(parsed->dest_ip, rec.dest_ip);
+  EXPECT_EQ(parsed->url_path, rec.url_path);
+  EXPECT_EQ(parsed->method, rec.method);
+  EXPECT_EQ(parsed->status, rec.status);
+  EXPECT_EQ(parsed->user_agent, rec.user_agent);
+  EXPECT_EQ(parsed->referer, rec.referer);
+}
+
+TEST(LogIoTest, ProxyEmptyFieldsRoundTripAsDashes) {
+  ProxyRecord rec;
+  rec.ts = 1;
+  rec.src_ip = "10.0.0.1";
+  rec.domain = "d.com";
+  // hostname, dest_ip, user_agent, referer left empty
+  const std::string line = format_proxy_line(rec);
+  const auto parsed = parse_proxy_line(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->hostname.empty());
+  EXPECT_FALSE(parsed->dest_ip.has_value());
+  EXPECT_TRUE(parsed->user_agent.empty());
+  EXPECT_TRUE(parsed->referer.empty());
+}
+
+TEST(LogIoTest, ProxyParseRejectsMalformed) {
+  EXPECT_FALSE(parse_proxy_line("").has_value());
+  EXPECT_FALSE(parse_proxy_line("only\tthree\tfields").has_value());
+  // 11 fields but non-numeric ts:
+  EXPECT_FALSE(
+      parse_proxy_line("x\tc\ts\th\td\t-\t/\tGET\t200\tua\tref").has_value());
+  // 11 fields but non-numeric status:
+  EXPECT_FALSE(
+      parse_proxy_line("1\tc\ts\th\td\t-\t/\tGET\tOK\tua\tref").has_value());
+}
+
+}  // namespace
+}  // namespace eid::logs

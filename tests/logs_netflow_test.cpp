@@ -1,0 +1,172 @@
+#include "logs/netflow.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "logs/reduction.h"
+#include "sim/ac.h"
+#include "sim/netflow_view.h"
+
+namespace eid::logs {
+namespace {
+
+util::Ipv4 ip(std::uint32_t a, std::uint32_t b, std::uint32_t c, std::uint32_t d) {
+  return util::Ipv4::from_octets(a, b, c, d);
+}
+
+FlowRecord flow(util::TimePoint ts, const std::string& src, util::Ipv4 dst,
+                std::uint16_t port = 80) {
+  FlowRecord f;
+  f.ts = ts;
+  f.src = src;
+  f.dst_ip = dst;
+  f.dst_port = port;
+  return f;
+}
+
+TEST(PassiveDnsTest, AttributesMostRecentMapping) {
+  PassiveDnsCache cache;
+  cache.observe("old-tenant.com", ip(203, 0, 113, 5), 1000);
+  cache.observe("new-tenant.ru", ip(203, 0, 113, 5), 5000);
+  EXPECT_EQ(cache.attribute(ip(203, 0, 113, 5), 2000).value_or(""),
+            "old-tenant.com");
+  EXPECT_EQ(cache.attribute(ip(203, 0, 113, 5), 9999).value_or(""),
+            "new-tenant.ru");
+  // Before any mapping or unknown IP: no attribution.
+  EXPECT_FALSE(cache.attribute(ip(203, 0, 113, 5), 500).has_value());
+  EXPECT_FALSE(cache.attribute(ip(8, 8, 8, 8), 2000).has_value());
+}
+
+TEST(PassiveDnsTest, DuplicateObservationsCoalesce) {
+  PassiveDnsCache cache;
+  for (int i = 0; i < 100; ++i) {
+    cache.observe("beacon.ru", ip(1, 2, 3, 4), 1000 + i * 600);
+  }
+  EXPECT_EQ(cache.observation_count(), 1u);
+  EXPECT_EQ(cache.attribute(ip(1, 2, 3, 4), 90000).value_or(""), "beacon.ru");
+}
+
+TEST(PassiveDnsTest, OutOfOrderObservations) {
+  PassiveDnsCache cache;
+  cache.observe("late.com", ip(9, 9, 9, 9), 5000);
+  cache.observe("early.com", ip(9, 9, 9, 9), 1000);
+  EXPECT_EQ(cache.attribute(ip(9, 9, 9, 9), 1500).value_or(""), "early.com");
+  EXPECT_EQ(cache.attribute(ip(9, 9, 9, 9), 6000).value_or(""), "late.com");
+}
+
+TEST(PassiveDnsTest, ObserveDayFiltersToAnsweredARecords) {
+  PassiveDnsCache cache;
+  std::vector<DnsRecord> records(3);
+  records[0].ts = 10;
+  records[0].domain = "a.com";
+  records[0].type = DnsType::A;
+  records[0].response_ip = ip(1, 1, 1, 1);
+  records[1].ts = 20;
+  records[1].domain = "b.com";
+  records[1].type = DnsType::TXT;  // not an A record
+  records[1].response_ip = ip(2, 2, 2, 2);
+  records[2].ts = 30;
+  records[2].domain = "c.com";
+  records[2].type = DnsType::A;  // unanswered
+  cache.observe_day(records);
+  EXPECT_TRUE(cache.attribute(ip(1, 1, 1, 1), 100).has_value());
+  EXPECT_FALSE(cache.attribute(ip(2, 2, 2, 2), 100).has_value());
+}
+
+TEST(FlowReductionTest, PortAndProtocolFilter) {
+  PassiveDnsCache cache;
+  cache.observe("web.com", ip(5, 5, 5, 5), 0);
+  std::vector<FlowRecord> flows = {
+      flow(100, "h1", ip(5, 5, 5, 5), 80),
+      flow(100, "h1", ip(5, 5, 5, 5), 443),
+      flow(100, "h1", ip(5, 5, 5, 5), 25),   // SMTP: dropped
+      flow(100, "h1", ip(5, 5, 5, 5), 6667), // IRC: dropped
+  };
+  flows.push_back(flow(100, "h1", ip(5, 5, 5, 5), 80));
+  flows.back().protocol = 17;  // UDP: dropped
+  FlowReductionStats stats;
+  const auto events = reduce_flows(flows, cache, FlowReductionConfig{}, &stats);
+  EXPECT_EQ(stats.port_filtered, 3u);
+  EXPECT_EQ(events.size(), 2u);
+}
+
+TEST(FlowReductionTest, UnattributedAndInternalDropped) {
+  PassiveDnsCache cache;
+  cache.observe("known.com", ip(5, 5, 5, 5), 0);
+  const std::vector<FlowRecord> flows = {
+      flow(100, "h1", ip(5, 5, 5, 5)),
+      flow(100, "h1", ip(6, 6, 6, 6)),     // never resolved: unattributed
+      flow(100, "h1", ip(10, 0, 0, 9)),    // internal destination
+  };
+  FlowReductionStats stats;
+  const auto events = reduce_flows(flows, cache, FlowReductionConfig{}, &stats);
+  EXPECT_EQ(stats.unattributed, 1u);
+  EXPECT_EQ(stats.internal_destinations, 1u);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].domain, "known.com");
+  EXPECT_FALSE(events[0].has_http_context);
+}
+
+TEST(FlowReductionTest, DomainsAreFolded) {
+  PassiveDnsCache cache;
+  cache.observe("www.deep.example.com", ip(5, 5, 5, 5), 0);
+  const std::vector<FlowRecord> flows = {flow(100, "h1", ip(5, 5, 5, 5))};
+  const auto events = reduce_flows(flows, cache, FlowReductionConfig{});
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].domain, "example.com");
+}
+
+TEST(FlowReductionTest, IpFluxAttributesPerFlowTime) {
+  // The attacker moves a domain between IPs; flows attribute to whoever
+  // held the address when the flow started.
+  PassiveDnsCache cache;
+  cache.observe("benign.com", ip(7, 7, 7, 7), 0);
+  cache.observe("evil.ru", ip(7, 7, 7, 7), 5000);
+  const std::vector<FlowRecord> flows = {flow(1000, "h1", ip(7, 7, 7, 7)),
+                                         flow(9000, "h1", ip(7, 7, 7, 7))};
+  const auto events = reduce_flows(flows, cache, FlowReductionConfig{});
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].domain, "benign.com");
+  EXPECT_EQ(events[1].domain, "evil.ru");
+}
+
+TEST(NetflowViewTest, MatchesProxyReductionOnDomains) {
+  // The NetFlow view of a simulated day must yield the same (host, folded
+  // domain) universe as the proxy reduction of the same day.
+  sim::AcConfig config;
+  config.n_hosts = 60;
+  config.n_popular = 30;
+  config.tail_per_day = 10;
+  config.automated_tail_per_day = 2;
+  config.grayware_per_day = 1;
+  config.campaigns_per_week = 3.0;
+  sim::AcScenario scenario(config);
+  auto& simulator = scenario.simulator();
+  const util::Day day = scenario.training_begin();
+  const sim::DayLogs raw = simulator.simulate_day(day);
+  const auto reduction = simulator.proxy_reduction_config();
+
+  const auto proxy_events =
+      reduce_proxy(raw.proxy, simulator.dhcp(), reduction);
+  const sim::NetflowDay netflow =
+      sim::to_netflow(raw, simulator.dhcp(), reduction);
+  PassiveDnsCache pdns;
+  pdns.observe_day(netflow.dns);
+  const auto flow_events = reduce_flows(netflow.flows, pdns, FlowReductionConfig{});
+
+  std::set<std::pair<std::string, std::string>> proxy_pairs;
+  for (const auto& ev : proxy_events) proxy_pairs.insert({ev.host, ev.domain});
+  std::set<std::pair<std::string, std::string>> flow_pairs;
+  for (const auto& ev : flow_events) flow_pairs.insert({ev.host, ev.domain});
+  // Every flow pair must exist in the proxy view; coverage must be near
+  // total (flows can only lose unattributable corner cases).
+  for (const auto& pair : flow_pairs) {
+    EXPECT_TRUE(proxy_pairs.contains(pair)) << pair.first << " " << pair.second;
+  }
+  EXPECT_GT(flow_pairs.size() * 10, proxy_pairs.size() * 9);
+  EXPECT_EQ(flow_events.size(), proxy_events.size());
+}
+
+}  // namespace
+}  // namespace eid::logs

@@ -1,0 +1,189 @@
+#include "logs/reduction.h"
+
+#include <gtest/gtest.h>
+
+namespace eid::logs {
+namespace {
+
+DnsRecord dns(util::TimePoint ts, std::string src, std::string domain,
+              DnsType type = DnsType::A) {
+  DnsRecord rec;
+  rec.ts = ts;
+  rec.src = std::move(src);
+  rec.domain = std::move(domain);
+  rec.type = type;
+  rec.response_ip = util::Ipv4::from_octets(1, 2, 3, 4);
+  return rec;
+}
+
+TEST(DnsReductionTest, KeepsOnlyARecords) {
+  std::vector<DnsRecord> records = {
+      dns(10, "h1", "a.example.com"),
+      dns(20, "h1", "a.example.com", DnsType::AAAA),
+      dns(30, "h1", "a.example.com", DnsType::TXT),
+  };
+  DnsReductionStats stats;
+  const auto events = reduce_dns(records, DnsReductionConfig{}, &stats);
+  EXPECT_EQ(stats.total_records, 3u);
+  EXPECT_EQ(stats.a_records, 1u);
+  EXPECT_EQ(events.size(), 1u);
+}
+
+TEST(DnsReductionTest, FiltersInternalQueries) {
+  DnsReductionConfig config;
+  config.internal_suffixes = {"corp.internal"};
+  config.fold_level = FoldLevel::ThirdLevel;
+  std::vector<DnsRecord> records = {
+      dns(10, "h1", "mail.corp.internal"),
+      dns(20, "h1", "wiki.corp.internal"),
+      dns(30, "h1", "www.example.com"),
+  };
+  DnsReductionStats stats;
+  const auto events = reduce_dns(records, config, &stats);
+  EXPECT_EQ(stats.after_internal_query_filter, 1u);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].domain, "www.example.com");
+}
+
+TEST(DnsReductionTest, FiltersInternalServers) {
+  DnsReductionConfig config;
+  config.internal_servers = {"dns-relay"};
+  std::vector<DnsRecord> records = {
+      dns(10, "dns-relay", "telemetry.example.com"),
+      dns(20, "h1", "www.example.com"),
+  };
+  DnsReductionStats stats;
+  const auto events = reduce_dns(records, config, &stats);
+  EXPECT_EQ(stats.after_server_filter, 1u);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].host, "h1");
+}
+
+TEST(DnsReductionTest, CountsDistinctDomainsPerStage) {
+  DnsReductionConfig config;
+  config.internal_suffixes = {"corp.internal"};
+  config.internal_servers = {"srv"};
+  config.fold_level = FoldLevel::SecondLevel;
+  std::vector<DnsRecord> records = {
+      dns(10, "h1", "a.corp.internal"),   // internal
+      dns(20, "h1", "one.com"),
+      dns(30, "h2", "one.com"),           // same folded domain
+      dns(40, "srv", "server-only.com"),  // server source
+      dns(50, "h1", "two.com"),
+  };
+  DnsReductionStats stats;
+  const auto events = reduce_dns(records, config, &stats);
+  EXPECT_EQ(stats.domains_all, 4u);                   // internal + 3 external
+  EXPECT_EQ(stats.domains_after_internal_filter, 3u); // one, server-only, two
+  EXPECT_EQ(stats.domains_after_server_filter, 2u);   // one, two
+  EXPECT_EQ(stats.hosts_after_server_filter, 2u);
+  EXPECT_EQ(events.size(), 3u);
+}
+
+TEST(DnsReductionTest, FoldsDomains) {
+  std::vector<DnsRecord> records = {dns(10, "h1", "deep.sub.example.com")};
+  const auto events = reduce_dns(records, DnsReductionConfig{.fold_level =
+                                                             FoldLevel::SecondLevel});
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].domain, "example.com");
+}
+
+TEST(DnsReductionTest, OutputSortedByTime) {
+  std::vector<DnsRecord> records = {
+      dns(300, "h1", "b.com"), dns(100, "h2", "a.com"), dns(200, "h3", "c.com")};
+  const auto events = reduce_dns(records, DnsReductionConfig{});
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_LE(events[0].ts, events[1].ts);
+  EXPECT_LE(events[1].ts, events[2].ts);
+}
+
+ProxyRecord proxy(util::TimePoint ts, std::string src_ip, std::string domain) {
+  ProxyRecord rec;
+  rec.ts = ts;
+  rec.collector = "px-1";
+  rec.src_ip = std::move(src_ip);
+  rec.domain = std::move(domain);
+  rec.dest_ip = util::Ipv4::from_octets(5, 6, 7, 8);
+  rec.user_agent = "UA";
+  rec.referer = "ref.example.com";
+  return rec;
+}
+
+TEST(ProxyReductionTest, DropsIpLiteralDestinations) {
+  DhcpTable leases;
+  std::vector<ProxyRecord> records = {proxy(10, "10.0.0.1", "93.184.216.34"),
+                                      proxy(20, "10.0.0.1", "example.com")};
+  ProxyReductionStats stats;
+  const auto events =
+      reduce_proxy(records, leases, ProxyReductionConfig{}, &stats);
+  EXPECT_EQ(stats.ip_literal_destinations, 1u);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].domain, "example.com");
+}
+
+TEST(ProxyReductionTest, NormalizesCollectorTimezones) {
+  DhcpTable leases;
+  ProxyReductionConfig config;
+  config.collector_utc_offsets = {{"px-east", 3600}};
+  ProxyRecord rec = proxy(10000, "10.0.0.1", "example.com");
+  rec.collector = "px-east";
+  const auto events = reduce_proxy({{rec}}, leases, config);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].ts, 10000 - 3600);
+}
+
+TEST(ProxyReductionTest, ResolvesDhcpSources) {
+  DhcpTable leases;
+  leases.add_lease({"10.0.0.1", 0, 100000, "ws-7.corp"});
+  std::vector<ProxyRecord> records = {proxy(50, "10.0.0.1", "example.com")};
+  ProxyReductionStats stats;
+  const auto events =
+      reduce_proxy(records, leases, ProxyReductionConfig{}, &stats);
+  EXPECT_EQ(stats.resolved_sources, 1u);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].host, "ws-7.corp");
+}
+
+TEST(ProxyReductionTest, PrefilledHostnameWins) {
+  DhcpTable leases;
+  ProxyRecord rec = proxy(50, "10.0.0.1", "example.com");
+  rec.hostname = "vpn-user-3.corp";
+  const auto events = reduce_proxy({{rec}}, leases, ProxyReductionConfig{});
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].host, "vpn-user-3.corp");
+}
+
+TEST(ProxyReductionTest, UnresolvedSourceKeptOrDroppedPerConfig) {
+  DhcpTable leases;
+  std::vector<ProxyRecord> records = {proxy(50, "10.9.9.9", "example.com")};
+  ProxyReductionConfig keep;
+  ProxyReductionStats stats;
+  auto events = reduce_proxy(records, leases, keep, &stats);
+  EXPECT_EQ(stats.unresolved_sources, 1u);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].host, "10.9.9.9");
+
+  ProxyReductionConfig drop;
+  drop.keep_unresolved_sources = false;
+  events = reduce_proxy(records, leases, drop, &stats);
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(ProxyReductionTest, CarriesHttpContext) {
+  DhcpTable leases;
+  ProxyRecord with_ref = proxy(10, "10.0.0.1", "example.com");
+  ProxyRecord without_ref = proxy(20, "10.0.0.1", "other.com");
+  without_ref.referer.clear();
+  without_ref.user_agent.clear();
+  const auto events =
+      reduce_proxy({{with_ref, without_ref}}, leases, ProxyReductionConfig{});
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_TRUE(events[0].has_referer);
+  EXPECT_TRUE(events[0].has_http_context);
+  EXPECT_EQ(events[0].user_agent, "UA");
+  EXPECT_FALSE(events[1].has_referer);
+  EXPECT_TRUE(events[1].user_agent.empty());
+}
+
+}  // namespace
+}  // namespace eid::logs

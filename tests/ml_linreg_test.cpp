@@ -1,0 +1,140 @@
+#include "ml/linreg.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace eid::ml {
+namespace {
+
+TEST(LinRegTest, RecoversExactLinearRelationship) {
+  // y = 3 + 2*x0 - 1.5*x1, no noise.
+  const std::size_t n = 50;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  util::Rng rng(1);
+  for (std::size_t i = 0; i < n; ++i) {
+    x.at(i, 0) = rng.uniform_double(-5, 5);
+    x.at(i, 1) = rng.uniform_double(-5, 5);
+    y[i] = 3.0 + 2.0 * x.at(i, 0) - 1.5 * x.at(i, 1);
+  }
+  const LinearModel model = fit_linear_regression(x, y);
+  ASSERT_EQ(model.weights.size(), 2u);
+  EXPECT_NEAR(model.weights[0], 2.0, 1e-9);
+  EXPECT_NEAR(model.weights[1], -1.5, 1e-9);
+  EXPECT_NEAR(model.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(model.r_squared, 1.0, 1e-9);
+}
+
+TEST(LinRegTest, RecoversWeightsUnderNoise) {
+  const std::size_t n = 2000;
+  Matrix x(n, 3);
+  std::vector<double> y(n);
+  util::Rng rng(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < 3; ++c) x.at(i, c) = rng.uniform_double(0, 1);
+    y[i] = 0.5 + 1.0 * x.at(i, 0) + 0.0 * x.at(i, 1) - 2.0 * x.at(i, 2) +
+           rng.normal(0.0, 0.1);
+  }
+  const LinearModel model = fit_linear_regression(x, y);
+  EXPECT_NEAR(model.weights[0], 1.0, 0.05);
+  EXPECT_NEAR(model.weights[1], 0.0, 0.05);
+  EXPECT_NEAR(model.weights[2], -2.0, 0.05);
+  // Significance: informative features have large |t|, the null one small.
+  EXPECT_TRUE(model.is_significant(0));
+  EXPECT_FALSE(model.is_significant(1));
+  EXPECT_TRUE(model.is_significant(2));
+  EXPECT_GT(model.r_squared, 0.9);
+}
+
+TEST(LinRegTest, NegativeCorrelationHasNegativeWeight) {
+  // Mirrors the paper's DomAge finding: reported domains are younger, so
+  // the age coefficient comes out negative (§VI-A).
+  const std::size_t n = 400;
+  Matrix x(n, 1);
+  std::vector<double> y(n);
+  util::Rng rng(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool reported = rng.chance(0.5);
+    x.at(i, 0) = reported ? rng.uniform_double(0, 60) : rng.uniform_double(200, 3000);
+    y[i] = reported ? 1.0 : 0.0;
+  }
+  const LinearModel model = fit_linear_regression(x, y);
+  EXPECT_LT(model.weights[0], 0.0);
+  EXPECT_TRUE(model.is_significant(0));
+}
+
+TEST(LinRegTest, PredictUsesInterceptAndWeights) {
+  LinearModel model;
+  model.intercept = 1.0;
+  model.weights = {2.0, -1.0};
+  const std::array<double, 2> row = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(model.predict(row), 1.0 + 6.0 - 4.0);
+}
+
+TEST(LinRegTest, DegenerateInputsReturnEmptyModel) {
+  Matrix x(0, 2);
+  const LinearModel empty = fit_linear_regression(x, {});
+  EXPECT_TRUE(empty.weights.empty());
+
+  Matrix tiny(2, 3);  // n <= p
+  const LinearModel under = fit_linear_regression(tiny, {{1.0, 2.0}});
+  EXPECT_TRUE(under.weights.empty());
+}
+
+TEST(LinRegTest, ConstantFeatureHandledViaRidgeFallback) {
+  const std::size_t n = 30;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  util::Rng rng(4);
+  for (std::size_t i = 0; i < n; ++i) {
+    x.at(i, 0) = rng.uniform_double(0, 1);
+    x.at(i, 1) = 0.7;  // constant column (collinear with intercept)
+    y[i] = 2.0 * x.at(i, 0);
+  }
+  const LinearModel model = fit_linear_regression(x, y);
+  ASSERT_EQ(model.weights.size(), 2u);
+  EXPECT_NEAR(model.weights[0], 2.0, 1e-3);
+}
+
+TEST(ScalerTest, MapsToUnitInterval) {
+  Matrix x(3, 2);
+  x.at(0, 0) = 0;  x.at(0, 1) = 10;
+  x.at(1, 0) = 5;  x.at(1, 1) = 20;
+  x.at(2, 0) = 10; x.at(2, 1) = 30;
+  MinMaxScaler scaler;
+  scaler.fit(x);
+  const Matrix scaled = scaler.transform(x);
+  EXPECT_DOUBLE_EQ(scaled.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(scaled.at(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(scaled.at(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(scaled.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(scaled.at(2, 1), 1.0);
+}
+
+TEST(ScalerTest, ClampsOutOfRangeValues) {
+  Matrix x(2, 1);
+  x.at(0, 0) = 0;
+  x.at(1, 0) = 10;
+  MinMaxScaler scaler;
+  scaler.fit(x);
+  std::array<double, 1> row = {-5.0};
+  scaler.transform_row(row);
+  EXPECT_DOUBLE_EQ(row[0], 0.0);
+  row[0] = 25.0;
+  scaler.transform_row(row);
+  EXPECT_DOUBLE_EQ(row[0], 1.0);
+}
+
+TEST(ScalerTest, ConstantColumnMapsToHalf) {
+  Matrix x(3, 1);
+  x.at(0, 0) = x.at(1, 0) = x.at(2, 0) = 7.0;
+  MinMaxScaler scaler;
+  scaler.fit(x);
+  std::array<double, 1> row = {7.0};
+  scaler.transform_row(row);
+  EXPECT_DOUBLE_EQ(row[0], 0.5);
+}
+
+}  // namespace
+}  // namespace eid::ml

@@ -1,0 +1,88 @@
+#include "ml/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace eid::ml {
+namespace {
+
+TEST(MatrixTest, GramMatrix) {
+  Matrix x(3, 2);
+  // [[1,2],[3,4],[5,6]]
+  x.at(0, 0) = 1; x.at(0, 1) = 2;
+  x.at(1, 0) = 3; x.at(1, 1) = 4;
+  x.at(2, 0) = 5; x.at(2, 1) = 6;
+  const Matrix g = x.gram();
+  EXPECT_DOUBLE_EQ(g.at(0, 0), 35.0);
+  EXPECT_DOUBLE_EQ(g.at(0, 1), 44.0);
+  EXPECT_DOUBLE_EQ(g.at(1, 0), 44.0);
+  EXPECT_DOUBLE_EQ(g.at(1, 1), 56.0);
+}
+
+TEST(MatrixTest, TransposeTimesAndTimes) {
+  Matrix x(2, 3);
+  x.at(0, 0) = 1; x.at(0, 1) = 0; x.at(0, 2) = 2;
+  x.at(1, 0) = 0; x.at(1, 1) = 3; x.at(1, 2) = 1;
+  const auto xt_v = x.transpose_times({2.0, 1.0});
+  ASSERT_EQ(xt_v.size(), 3u);
+  EXPECT_DOUBLE_EQ(xt_v[0], 2.0);
+  EXPECT_DOUBLE_EQ(xt_v[1], 3.0);
+  EXPECT_DOUBLE_EQ(xt_v[2], 5.0);
+  const auto x_v = x.times({1.0, 1.0, 1.0});
+  ASSERT_EQ(x_v.size(), 2u);
+  EXPECT_DOUBLE_EQ(x_v[0], 3.0);
+  EXPECT_DOUBLE_EQ(x_v[1], 4.0);
+}
+
+TEST(CholeskyTest, FactorizesSpdMatrix) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 4; a.at(0, 1) = 2;
+  a.at(1, 0) = 2; a.at(1, 1) = 3;
+  Matrix lower;
+  ASSERT_TRUE(cholesky(a, lower));
+  EXPECT_DOUBLE_EQ(lower.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(lower.at(1, 0), 1.0);
+  EXPECT_NEAR(lower.at(1, 1), std::sqrt(2.0), 1e-12);
+}
+
+TEST(CholeskyTest, RejectsNonPositiveDefinite) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1; a.at(0, 1) = 2;
+  a.at(1, 0) = 2; a.at(1, 1) = 1;  // eigenvalues 3, -1
+  Matrix lower;
+  EXPECT_FALSE(cholesky(a, lower));
+}
+
+TEST(CholeskyTest, SolveRecoversKnownSolution) {
+  // A = [[4,2],[2,3]], x = [1, -2] => b = A x = [0, -4].
+  Matrix a(2, 2);
+  a.at(0, 0) = 4; a.at(0, 1) = 2;
+  a.at(1, 0) = 2; a.at(1, 1) = 3;
+  Matrix lower;
+  ASSERT_TRUE(cholesky(a, lower));
+  const auto x = cholesky_solve(lower, {0.0, -4.0});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], -2.0, 1e-12);
+}
+
+TEST(CholeskyTest, InverseTimesOriginalIsIdentity) {
+  Matrix a(3, 3);
+  a.at(0, 0) = 6; a.at(0, 1) = 2; a.at(0, 2) = 1;
+  a.at(1, 0) = 2; a.at(1, 1) = 5; a.at(1, 2) = 2;
+  a.at(2, 0) = 1; a.at(2, 1) = 2; a.at(2, 2) = 4;
+  Matrix lower;
+  ASSERT_TRUE(cholesky(a, lower));
+  const Matrix inv = spd_inverse(lower);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < 3; ++k) acc += a.at(i, k) * inv.at(k, j);
+      EXPECT_NEAR(acc, i == j ? 1.0 : 0.0, 1e-10) << i << "," << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eid::ml

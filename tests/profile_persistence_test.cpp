@@ -1,0 +1,135 @@
+#include "profile/persistence.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace eid::profile {
+namespace {
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("eid-persist-test-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(PersistenceTest, DomainHistoryRoundTrip) {
+  DomainHistory history;
+  history.update({"a.com", "b.com"});
+  history.update({"c.com"});
+  const auto path = dir_ / "domains.hist";
+  ASSERT_TRUE(save_domain_history(history, path));
+  const auto loaded = load_domain_history(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 3u);
+  EXPECT_EQ(loaded->days_ingested(), 2u);
+  EXPECT_FALSE(loaded->is_new("a.com"));
+  EXPECT_FALSE(loaded->is_new("c.com"));
+  EXPECT_TRUE(loaded->is_new("never.com"));
+}
+
+TEST_F(PersistenceTest, EmptyDomainHistoryRoundTrip) {
+  DomainHistory history;
+  const auto path = dir_ / "empty.hist";
+  ASSERT_TRUE(save_domain_history(history, path));
+  const auto loaded = load_domain_history(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 0u);
+}
+
+TEST_F(PersistenceTest, DomainHistoryRejectsBadMagic) {
+  const auto path = dir_ / "bad.hist";
+  {
+    std::ofstream out(path);
+    out << "some other file\ndays 3\na.com\n";
+  }
+  EXPECT_FALSE(load_domain_history(path).has_value());
+  EXPECT_FALSE(load_domain_history(dir_ / "missing.hist").has_value());
+}
+
+TEST_F(PersistenceTest, UaHistoryRoundTripPreservesRarity) {
+  UaHistory history(3);
+  history.observe("Popular/1.0", "h1");
+  history.observe("Popular/1.0", "h2");
+  history.observe("Popular/1.0", "h3");  // crosses the threshold
+  history.observe("Rare/2.0", "h1");
+  history.observe("Rare/2.0", "h9");
+  const auto path = dir_ / "uas.hist";
+  ASSERT_TRUE(save_ua_history(history, path));
+  const auto loaded = load_ua_history(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->rare_threshold(), 3u);
+  EXPECT_FALSE(loaded->is_rare("Popular/1.0"));
+  EXPECT_TRUE(loaded->is_rare("Rare/2.0"));
+  EXPECT_EQ(loaded->host_count("Rare/2.0"), 2u);
+  EXPECT_TRUE(loaded->is_rare("NeverSeen/0.1"));
+}
+
+TEST_F(PersistenceTest, UaHistoryContinuesAccumulatingAfterLoad) {
+  UaHistory history(2);
+  history.observe("Almost/1.0", "h1");
+  const auto path = dir_ / "uas2.hist";
+  ASSERT_TRUE(save_ua_history(history, path));
+  auto loaded = load_ua_history(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->is_rare("Almost/1.0"));
+  loaded->observe("Almost/1.0", "h2");  // second distinct host
+  EXPECT_FALSE(loaded->is_rare("Almost/1.0"));
+}
+
+TEST_F(PersistenceTest, UaHistoryRejectsMalformed) {
+  const auto path = dir_ / "bad-ua.hist";
+  {
+    std::ofstream out(path);
+    out << "eid-ua-history 1\nthreshold 0\n";  // zero threshold invalid
+  }
+  EXPECT_FALSE(load_ua_history(path).has_value());
+  {
+    std::ofstream out(path);
+    out << "eid-ua-history 1\nthreshold 5\nX\tua\n";  // unknown kind
+  }
+  EXPECT_FALSE(load_ua_history(path).has_value());
+}
+
+TEST_F(PersistenceTest, DailyRestartScenario) {
+  // Day 1 process: bootstrap, save.
+  const auto dom_path = dir_ / "d.hist";
+  const auto ua_path = dir_ / "u.hist";
+  {
+    DomainHistory domains;
+    domains.update({"seen-day1.com"});
+    UaHistory uas(2);
+    uas.observe("UA", "h1");
+    ASSERT_TRUE(save_domain_history(domains, dom_path));
+    ASSERT_TRUE(save_ua_history(uas, ua_path));
+  }
+  // Day 2 process: load, verify continuity, extend, save again.
+  {
+    auto domains = load_domain_history(dom_path);
+    auto uas = load_ua_history(ua_path);
+    ASSERT_TRUE(domains && uas);
+    EXPECT_FALSE(domains->is_new("seen-day1.com"));
+    domains->update({"seen-day2.com"});
+    uas->observe("UA", "h2");
+    ASSERT_TRUE(save_domain_history(*domains, dom_path));
+    ASSERT_TRUE(save_ua_history(*uas, ua_path));
+  }
+  // Day 3 process: both days visible.
+  const auto domains = load_domain_history(dom_path);
+  const auto uas = load_ua_history(ua_path);
+  ASSERT_TRUE(domains && uas);
+  EXPECT_FALSE(domains->is_new("seen-day1.com"));
+  EXPECT_FALSE(domains->is_new("seen-day2.com"));
+  EXPECT_EQ(domains->days_ingested(), 2u);
+  EXPECT_FALSE(uas->is_rare("UA"));
+}
+
+}  // namespace
+}  // namespace eid::profile

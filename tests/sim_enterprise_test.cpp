@@ -1,0 +1,248 @@
+#include "sim/enterprise.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "logs/folding.h"
+#include "sim/names.h"
+
+namespace eid::sim {
+namespace {
+
+SimConfig small_proxy_config() {
+  SimConfig config;
+  config.flavor = Flavor::Proxy;
+  config.seed = 3;
+  config.day0 = util::make_day(2014, 1, 1);
+  config.n_hosts = 60;
+  config.n_popular = 40;
+  config.tail_per_day = 20;
+  config.automated_tail_per_day = 3;
+  config.grayware_per_day = 2;
+  config.sessions_per_host = 3.0;
+  return config;
+}
+
+SimConfig small_dns_config() {
+  SimConfig config = small_proxy_config();
+  config.flavor = Flavor::Dns;
+  config.n_servers = 4;
+  config.server_tail_per_day = 20;
+  return config;
+}
+
+CampaignSpec basic_campaign(util::Day day) {
+  CampaignSpec spec;
+  spec.id = 0;
+  spec.start_day = day;
+  spec.duration_days = 3;
+  spec.n_victims = 2;
+  spec.delivery_chain = 3;
+  spec.n_cc = 1;
+  spec.second_stage = 1;
+  spec.cc_period_seconds = 600;
+  spec.jitter_seconds = 2.0;
+  return spec;
+}
+
+TEST(EnterpriseSimTest, DeterministicAcrossInstances) {
+  const auto config = small_proxy_config();
+  EnterpriseSimulator a(config, {basic_campaign(config.day0 + 1)});
+  EnterpriseSimulator b(config, {basic_campaign(config.day0 + 1)});
+  const DayLogs logs_a = a.simulate_day(config.day0 + 1);
+  const DayLogs logs_b = b.simulate_day(config.day0 + 1);
+  ASSERT_EQ(logs_a.proxy.size(), logs_b.proxy.size());
+  for (std::size_t i = 0; i < logs_a.proxy.size(); ++i) {
+    EXPECT_EQ(logs_a.proxy[i].ts, logs_b.proxy[i].ts);
+    EXPECT_EQ(logs_a.proxy[i].domain, logs_b.proxy[i].domain);
+    EXPECT_EQ(logs_a.proxy[i].src_ip, logs_b.proxy[i].src_ip);
+  }
+}
+
+TEST(EnterpriseSimTest, ProxyFlavorFillsHttpContext) {
+  const auto config = small_proxy_config();
+  EnterpriseSimulator sim(config, {});
+  const DayLogs logs = sim.simulate_day(config.day0);
+  ASSERT_FALSE(logs.proxy.empty());
+  EXPECT_TRUE(logs.dns.empty());
+  std::size_t with_ua = 0;
+  std::size_t with_ref = 0;
+  for (const auto& rec : logs.proxy) {
+    EXPECT_FALSE(rec.domain.empty());
+    EXPECT_FALSE(rec.collector.empty());
+    if (!rec.user_agent.empty()) ++with_ua;
+    if (!rec.referer.empty()) ++with_ref;
+  }
+  EXPECT_GT(with_ua, logs.proxy.size() / 2);
+  EXPECT_GT(with_ref, logs.proxy.size() / 4);
+}
+
+TEST(EnterpriseSimTest, DnsFlavorHasNoiseRecordTypes) {
+  const auto config = small_dns_config();
+  EnterpriseSimulator sim(config, {});
+  const DayLogs logs = sim.simulate_day(config.day0);
+  ASSERT_FALSE(logs.dns.empty());
+  EXPECT_TRUE(logs.proxy.empty());
+  std::size_t non_a = 0;
+  for (const auto& rec : logs.dns) {
+    if (rec.type != logs::DnsType::A) ++non_a;
+  }
+  EXPECT_GT(non_a, 0u);
+  EXPECT_LT(non_a, logs.dns.size());
+}
+
+TEST(EnterpriseSimTest, LogsSortedByTimestamp) {
+  const auto config = small_proxy_config();
+  EnterpriseSimulator sim(config, {basic_campaign(config.day0)});
+  const DayLogs logs = sim.simulate_day(config.day0);
+  for (std::size_t i = 1; i < logs.proxy.size(); ++i) {
+    EXPECT_LE(logs.proxy[i - 1].ts, logs.proxy[i].ts);
+  }
+}
+
+TEST(EnterpriseSimTest, DhcpLeasesResolveProxySources) {
+  const auto config = small_proxy_config();
+  EnterpriseSimulator sim(config, {});
+  const util::Day day = config.day0;
+  (void)sim.simulate_day(day);
+  logs::ProxyReductionStats stats;
+  const auto events = sim.reduced_day(day, nullptr, &stats);
+  ASSERT_FALSE(events.empty());
+  // Most sources resolve via DHCP or prefilled hostnames; hostnames must be
+  // stable identifiers, not raw pool addresses.
+  EXPECT_GT(stats.resolved_sources, stats.unresolved_sources);
+  std::size_t corp_hosts = 0;
+  for (const auto& event : events) {
+    if (event.host.ends_with(".corp")) ++corp_hosts;
+  }
+  EXPECT_EQ(corp_hosts, events.size());
+}
+
+TEST(EnterpriseSimTest, CampaignEmitsDeliveryAndBeacons) {
+  const auto config = small_proxy_config();
+  const CampaignSpec spec = basic_campaign(config.day0 + 1);
+  EnterpriseSimulator sim(config, {spec});
+  const CampaignTruth* truth = sim.truth().campaign(0);
+  ASSERT_NE(truth, nullptr);
+  EXPECT_EQ(truth->victims.size(), 2u);
+  EXPECT_EQ(truth->domains.size(), 5u);  // 3 delivery + 1 cc + 1 second-stage
+  ASSERT_EQ(truth->cc_domains.size(), 1u);
+
+  const DayLogs logs = sim.simulate_day(config.day0 + 1);
+  std::size_t cc_requests = 0;
+  std::unordered_set<std::string> delivery_seen;
+  for (const auto& rec : logs.proxy) {
+    if (rec.domain == truth->cc_domains[0]) ++cc_requests;
+    for (const auto& dom : truth->domains) {
+      if (rec.domain == dom) delivery_seen.insert(dom);
+    }
+  }
+  // Beacons every 600 s for most of a work day: dozens of requests.
+  EXPECT_GT(cc_requests, 20u);
+  // All delivery domains and the C&C are contacted on day one.
+  EXPECT_GE(delivery_seen.size(), 4u);
+}
+
+TEST(EnterpriseSimTest, BeaconsContinueOnLaterDays) {
+  const auto config = small_proxy_config();
+  const CampaignSpec spec = basic_campaign(config.day0 + 1);
+  EnterpriseSimulator sim(config, {spec});
+  const CampaignTruth* truth = sim.truth().campaign(0);
+  ASSERT_NE(truth, nullptr);
+  (void)sim.simulate_day(config.day0 + 1);
+  const DayLogs day2 = sim.simulate_day(config.day0 + 2);
+  std::size_t cc_requests = 0;
+  for (const auto& rec : day2.proxy) {
+    if (rec.domain == truth->cc_domains[0]) ++cc_requests;
+  }
+  EXPECT_GT(cc_requests, 50u);  // full-day beaconing at 600 s
+  // Outside the campaign window: silence.
+  const DayLogs after = sim.simulate_day(config.day0 + 10);
+  for (const auto& rec : after.proxy) {
+    EXPECT_NE(rec.domain, truth->cc_domains[0]);
+  }
+}
+
+TEST(EnterpriseSimTest, CampaignDomainsShareSubnets) {
+  const auto config = small_proxy_config();
+  EnterpriseSimulator sim(config, {basic_campaign(config.day0)});
+  const DayLogs logs = sim.simulate_day(config.day0);
+  std::unordered_map<std::string, util::Ipv4> ips;
+  for (const auto& rec : logs.proxy) {
+    if (sim.truth().is_malicious(rec.domain) && rec.dest_ip) {
+      ips[rec.domain] = *rec.dest_ip;
+    }
+  }
+  ASSERT_GE(ips.size(), 2u);
+  // Every pair of campaign domains shares at least a /16.
+  for (const auto& [d1, ip1] : ips) {
+    for (const auto& [d2, ip2] : ips) {
+      EXPECT_TRUE(util::same_subnet16(ip1, ip2)) << d1 << " vs " << d2;
+    }
+  }
+}
+
+TEST(EnterpriseSimTest, CampaignDomainsAreYoungOrUnregistered) {
+  const auto config = small_proxy_config();
+  const CampaignSpec spec = basic_campaign(config.day0 + 5);
+  EnterpriseSimulator sim(config, {spec});
+  const CampaignTruth* truth = sim.truth().campaign(0);
+  ASSERT_NE(truth, nullptr);
+  for (const auto& domain : truth->domains) {
+    const auto info = sim.whois().lookup(domain);
+    if (!info) continue;  // unregistered or unparseable: fine
+    EXPECT_GE(info->registered, spec.start_day - 30);
+  }
+}
+
+TEST(EnterpriseSimTest, GraywareLabeledInTruth) {
+  const auto config = small_proxy_config();
+  EnterpriseSimulator sim(config, {});
+  (void)sim.simulate_day(config.day0);
+  std::size_t grayware = 0;
+  const DayLogs logs = sim.simulate_day(config.day0 + 1);
+  std::unordered_set<std::string> seen;
+  for (const auto& rec : logs.proxy) {
+    if (sim.truth().is_grayware(rec.domain) && seen.insert(rec.domain).second) {
+      ++grayware;
+    }
+  }
+  EXPECT_GE(grayware, 1u);
+}
+
+TEST(EnterpriseSimTest, WhoisCoversBenignTraffic) {
+  const auto config = small_proxy_config();
+  EnterpriseSimulator sim(config, {});
+  const DayLogs logs = sim.simulate_day(config.day0);
+  std::size_t registered = 0;
+  std::size_t total = 0;
+  std::unordered_set<std::string> seen;
+  for (const auto& rec : logs.proxy) {
+    const std::string folded = logs::fold_domain(rec.domain);
+    if (!seen.insert(folded).second) continue;
+    ++total;
+    if (sim.whois().is_registered(folded)) ++registered;
+  }
+  EXPECT_GT(registered, total * 9 / 10);
+}
+
+TEST(NamesTest, GeneratorsProduceExpectedShapes) {
+  util::Rng rng(1);
+  const std::string short_dga = short_dga_domain(rng);
+  EXPECT_TRUE(short_dga.ends_with(".info"));
+  EXPECT_GE(short_dga.size(), 4u + 5u);
+  EXPECT_LE(short_dga.size(), 5u + 5u);
+  const std::string long_dga = long_dga_domain(rng);
+  EXPECT_TRUE(long_dga.ends_with(".info"));
+  EXPECT_EQ(long_dga.size(), 20u + 5u);
+  EXPECT_TRUE(ru_cc_domain(rng).ends_with(".ru"));
+  EXPECT_EQ(workstation_name(7), "ws-00007.corp");
+  const std::string host = lanl_host_name(rng);
+  EXPECT_TRUE(util::parse_ipv4(host).has_value());
+  EXPECT_TRUE(browser_ua(rng).starts_with("Mozilla/5.0"));
+}
+
+}  // namespace
+}  // namespace eid::sim

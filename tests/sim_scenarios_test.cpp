@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "sim/ac.h"
+#include "sim/lanl.h"
+#include "sim/oracle.h"
+
+namespace eid::sim {
+namespace {
+
+LanlConfig tiny_lanl() {
+  LanlConfig config;
+  config.n_hosts = 80;
+  config.n_servers = 3;
+  config.n_popular = 40;
+  config.tail_per_day = 15;
+  config.automated_tail_per_day = 2;
+  config.server_tail_per_day = 10;
+  return config;
+}
+
+TEST(LanlScenarioTest, TwentyCampaignsOnPaperDates) {
+  LanlScenario scenario(tiny_lanl());
+  ASSERT_EQ(scenario.cases().size(), 20u);
+  std::size_t per_case[5] = {0, 0, 0, 0, 0};
+  for (const auto& challenge : scenario.cases()) {
+    ASSERT_GE(challenge.case_id, 1);
+    ASSERT_LE(challenge.case_id, 4);
+    ++per_case[challenge.case_id];
+    EXPECT_GE(challenge.day, util::make_day(2013, 3, 2));
+    EXPECT_LE(challenge.day, util::make_day(2013, 3, 22));
+  }
+  EXPECT_EQ(per_case[1], 5u);  // Table I
+  EXPECT_EQ(per_case[2], 7u);
+  EXPECT_EQ(per_case[3], 7u);
+  EXPECT_EQ(per_case[4], 1u);
+}
+
+TEST(LanlScenarioTest, HintStructureMatchesCases) {
+  LanlScenario scenario(tiny_lanl());
+  for (const auto& challenge : scenario.cases()) {
+    switch (challenge.case_id) {
+      case 1:
+      case 3:
+        EXPECT_EQ(challenge.hint_hosts.size(), 1u);
+        break;
+      case 2:
+        EXPECT_GE(challenge.hint_hosts.size(), 3u);
+        EXPECT_LE(challenge.hint_hosts.size(), 4u);
+        break;
+      case 4:
+        EXPECT_TRUE(challenge.hint_hosts.empty());
+        break;
+    }
+    EXPECT_FALSE(challenge.answer_domains.empty());
+    EXPECT_GE(challenge.victim_hosts.size(), 2u);  // LANL sims: multiple victims
+  }
+}
+
+TEST(LanlScenarioTest, TrainingSplitMatchesPaper) {
+  EXPECT_TRUE(LanlScenario::is_training_day(util::make_day(2013, 3, 2)));
+  EXPECT_TRUE(LanlScenario::is_training_day(util::make_day(2013, 3, 7)));
+  EXPECT_TRUE(LanlScenario::is_training_day(util::make_day(2013, 3, 18)));
+  EXPECT_FALSE(LanlScenario::is_training_day(util::make_day(2013, 3, 6)));
+  EXPECT_FALSE(LanlScenario::is_training_day(util::make_day(2013, 3, 22)));
+  EXPECT_FALSE(LanlScenario::is_training_day(util::make_day(2013, 2, 2)));
+  LanlScenario scenario(tiny_lanl());
+  std::size_t training = 0;
+  for (const auto& challenge : scenario.cases()) {
+    if (challenge.training) ++training;
+  }
+  EXPECT_EQ(training, 10u);  // half of the 20 attacks (§V-B)
+}
+
+TEST(LanlScenarioTest, CampaignTrafficAppearsOnItsDay) {
+  LanlScenario scenario(tiny_lanl());
+  const auto& challenge = scenario.cases().front();
+  const DayLogs logs = scenario.simulator().simulate_day(challenge.day);
+  std::unordered_set<std::string> seen;
+  for (const auto& rec : logs.dns) seen.insert(rec.domain);
+  for (const auto& answer : challenge.answer_domains) {
+    EXPECT_TRUE(seen.contains(answer)) << answer;
+  }
+}
+
+AcConfig tiny_ac() {
+  AcConfig config;
+  config.n_hosts = 80;
+  config.n_popular = 40;
+  config.tail_per_day = 15;
+  config.automated_tail_per_day = 2;
+  config.grayware_per_day = 1;
+  config.campaigns_per_week = 3.0;
+  return config;
+}
+
+TEST(AcScenarioTest, CampaignsSpanBothMonths) {
+  AcScenario scenario(tiny_ac());
+  const auto& campaigns = scenario.simulator().truth().campaigns();
+  ASSERT_FALSE(campaigns.empty());
+  bool any_january = false;
+  bool any_february = false;
+  for (const auto& [id, campaign] : campaigns) {
+    if (campaign.start_day < scenario.operation_begin()) any_january = true;
+    if (campaign.start_day + campaign.duration_days > scenario.operation_begin()) {
+      any_february = true;
+    }
+  }
+  EXPECT_TRUE(any_january);
+  EXPECT_TRUE(any_february);
+}
+
+TEST(AcScenarioTest, IocSeedsAreMaliciousAndKnown) {
+  AcScenario scenario(tiny_ac());
+  const auto seeds = scenario.ioc_seeds();
+  for (const auto& domain : seeds) {
+    EXPECT_TRUE(scenario.simulator().truth().is_malicious(domain));
+    EXPECT_TRUE(scenario.oracle().soc_ioc(domain));
+    EXPECT_TRUE(scenario.oracle().vt_reported(domain));
+  }
+}
+
+TEST(OracleTest, DeterministicAndPartial) {
+  AcScenario scenario(tiny_ac());
+  const IntelOracle& oracle = scenario.oracle();
+  const GroundTruth& truth = scenario.simulator().truth();
+  std::size_t malicious = 0;
+  std::size_t reported = 0;
+  for (const auto& [id, campaign] : truth.campaigns()) {
+    for (const auto& domain : campaign.domains) {
+      ++malicious;
+      const bool r1 = oracle.vt_reported(domain);
+      const bool r2 = oracle.vt_reported(domain);
+      EXPECT_EQ(r1, r2);
+      if (r1) ++reported;
+      // IOC implies VT-reported (the SOC consumes the same feeds).
+      if (oracle.soc_ioc(domain)) EXPECT_TRUE(r1);
+    }
+  }
+  ASSERT_GT(malicious, 10u);
+  // Partial knowledge: some but not all malicious domains are reported.
+  EXPECT_GT(reported, 0u);
+  EXPECT_LT(reported, malicious);
+}
+
+TEST(OracleTest, BenignNeverReported) {
+  GroundTruth truth;
+  truth.set_label("bad.com", TruthLabel::Malicious, 0);
+  const IntelOracle oracle(truth);
+  EXPECT_FALSE(oracle.vt_reported("innocent.com"));
+  EXPECT_FALSE(oracle.soc_ioc("innocent.com"));
+}
+
+TEST(CampaignScheduleTest, RespectsRateAndRanges) {
+  util::Rng rng(5);
+  const auto specs = generate_campaign_schedule(rng, 100, 56, 7.0);
+  // ~7/week over 8 weeks => around 56 campaigns; allow wide slack.
+  EXPECT_GE(specs.size(), 30u);
+  EXPECT_LE(specs.size(), 90u);
+  int previous_id = -1;
+  for (const auto& spec : specs) {
+    EXPECT_GT(spec.id, previous_id);
+    previous_id = spec.id;
+    EXPECT_GE(spec.start_day, 100);
+    EXPECT_LT(spec.start_day, 156);
+    EXPECT_GE(spec.n_victims, 1u);
+    EXPECT_LE(spec.n_victims, 3u);
+    EXPECT_GE(spec.cc_period_seconds, 120.0);
+    EXPECT_LE(spec.cc_period_seconds, 7200.0);
+  }
+}
+
+}  // namespace
+}  // namespace eid::sim

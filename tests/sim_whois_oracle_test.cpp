@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "sim/oracle.h"
+#include "sim/whois_db.h"
+
+namespace eid::sim {
+namespace {
+
+TEST(WhoisDbTest, RegisteredDomainsResolve) {
+  WhoisDb db(/*unparseable_fraction=*/0.0);
+  db.add("example.com", 100, 500);
+  const auto info = db.lookup("example.com");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->registered, 100);
+  EXPECT_EQ(info->expires, 500);
+  EXPECT_TRUE(db.is_registered("example.com"));
+}
+
+TEST(WhoisDbTest, UnregisteredDomainsFail) {
+  WhoisDb db(0.0);
+  EXPECT_FALSE(db.lookup("never.com").has_value());
+  EXPECT_FALSE(db.is_registered("never.com"));
+}
+
+TEST(WhoisDbTest, AddAgedComputesWindow) {
+  WhoisDb db(0.0);
+  db.add_aged("young.com", /*today=*/1000, /*age=*/7, /*validity=*/90);
+  const auto info = db.lookup("young.com");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->registered, 993);
+  EXPECT_EQ(info->expires, 1090);
+}
+
+TEST(WhoisDbTest, ReRegistrationOverwrites) {
+  WhoisDb db(0.0);
+  db.add("flip.com", 100, 200);
+  db.add("flip.com", 300, 400);
+  const auto info = db.lookup("flip.com");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->registered, 300);
+}
+
+TEST(WhoisDbTest, UnparseableFailuresAreDeterministicPerDomain) {
+  WhoisDb db(0.5, /*seed=*/99);
+  std::size_t failures = 0;
+  const std::size_t n = 400;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string name = "dom" + std::to_string(i) + ".com";
+    db.add(name, 1, 2);
+    const bool first = db.lookup(name).has_value();
+    const bool second = db.lookup(name).has_value();
+    EXPECT_EQ(first, second) << name;  // same answer every time
+    if (!first) ++failures;
+  }
+  // Roughly half fail at fraction 0.5.
+  EXPECT_GT(failures, n / 3);
+  EXPECT_LT(failures, 2 * n / 3);
+}
+
+TEST(WhoisDbTest, ZeroFractionNeverFails) {
+  WhoisDb db(0.0);
+  for (int i = 0; i < 100; ++i) {
+    const std::string name = "d" + std::to_string(i) + ".net";
+    db.add(name, 1, 2);
+    EXPECT_TRUE(db.lookup(name).has_value());
+  }
+}
+
+TEST(OracleParamsTest, ReportingRatesTrackProbabilities) {
+  GroundTruth truth;
+  for (int i = 0; i < 500; ++i) {
+    truth.set_label("mal" + std::to_string(i) + ".ru", TruthLabel::Malicious, 0);
+    truth.set_label("gray" + std::to_string(i) + ".com", TruthLabel::Grayware);
+  }
+  IntelOracle::Params params;
+  params.vt_malicious = 0.65;
+  params.vt_grayware = 0.25;
+  params.ioc_given_vt = 0.2;
+  const IntelOracle oracle(truth, params);
+
+  std::size_t mal_reported = 0;
+  std::size_t gray_reported = 0;
+  std::size_t iocs = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (oracle.vt_reported("mal" + std::to_string(i) + ".ru")) ++mal_reported;
+    if (oracle.vt_reported("gray" + std::to_string(i) + ".com")) ++gray_reported;
+    if (oracle.soc_ioc("mal" + std::to_string(i) + ".ru")) ++iocs;
+  }
+  EXPECT_NEAR(static_cast<double>(mal_reported) / 500.0, 0.65, 0.08);
+  EXPECT_NEAR(static_cast<double>(gray_reported) / 500.0, 0.25, 0.08);
+  EXPECT_NEAR(static_cast<double>(iocs) / static_cast<double>(mal_reported), 0.2,
+              0.08);
+}
+
+TEST(OracleParamsTest, GraywareNeverOnIocList) {
+  GroundTruth truth;
+  for (int i = 0; i < 200; ++i) {
+    truth.set_label("gray" + std::to_string(i) + ".com", TruthLabel::Grayware);
+  }
+  IntelOracle::Params params;
+  params.vt_grayware = 1.0;
+  params.ioc_given_vt = 1.0;
+  const IntelOracle oracle(truth, params);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(oracle.soc_ioc("gray" + std::to_string(i) + ".com"));
+  }
+}
+
+TEST(OracleParamsTest, CampaignIocEnumeration) {
+  GroundTruth truth;
+  CampaignTruth campaign;
+  campaign.id = 3;
+  campaign.start_day = 100;
+  campaign.duration_days = 10;
+  for (int i = 0; i < 20; ++i) {
+    const std::string name = "c3-" + std::to_string(i) + ".ru";
+    truth.set_label(name, TruthLabel::Malicious, 3);
+    campaign.domains.push_back(name);
+  }
+  truth.add_campaign(campaign);
+  IntelOracle::Params params;
+  params.vt_malicious = 1.0;
+  params.ioc_given_vt = 1.0;
+  const IntelOracle oracle(truth, params);
+  EXPECT_EQ(oracle.ioc_domains_of_campaign(3).size(), 20u);
+  EXPECT_TRUE(oracle.ioc_domains_of_campaign(99).empty());
+  // Window filtering in ioc_list.
+  EXPECT_EQ(oracle.ioc_list(100, 120).size(), 20u);
+  EXPECT_EQ(oracle.ioc_list(95, 99).size(), 0u);   // campaign not yet active
+  EXPECT_EQ(oracle.ioc_list(111, 200).size(), 0u); // campaign already over
+}
+
+}  // namespace
+}  // namespace eid::sim

@@ -1,0 +1,74 @@
+// Shared builders for feature/core tests: hand-crafted days with beacons,
+// browsing, and an in-memory WHOIS source.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "features/whois_source.h"
+#include "graph/day_graph.h"
+#include "logs/records.h"
+
+namespace eid::test {
+
+/// WHOIS source backed by a plain map (no failure injection).
+class MapWhois final : public features::WhoisSource {
+ public:
+  void add(const std::string& domain, util::Day registered, util::Day expires) {
+    records_[domain] = features::WhoisInfo{registered, expires};
+  }
+
+  std::optional<features::WhoisInfo> lookup(
+      const std::string& domain) const override {
+    auto it = records_.find(domain);
+    if (it == records_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, features::WhoisInfo> records_;
+};
+
+/// Incrementally builds a DayGraph from compact event descriptions.
+class DayBuilder {
+ public:
+  DayBuilder& visit(const std::string& host, const std::string& domain,
+                    util::TimePoint ts, util::Ipv4 ip = {0},
+                    const std::string& ua = "", bool referer = false) {
+    logs::ConnEvent ev;
+    ev.ts = ts;
+    ev.host = host;
+    ev.domain = domain;
+    if (ip.value != 0) ev.dest_ip = ip;
+    ev.user_agent = ua;
+    ev.has_referer = referer;
+    ev.has_http_context = true;
+    events_.push_back(std::move(ev));
+    return *this;
+  }
+
+  /// A beacon series host->domain every `period` seconds, n connections.
+  DayBuilder& beacon(const std::string& host, const std::string& domain,
+                     util::TimePoint start, double period, int n,
+                     util::Ipv4 ip = {0}, const std::string& ua = "") {
+    for (int i = 0; i < n; ++i) {
+      visit(host, domain, start + static_cast<util::TimePoint>(i * period), ip, ua);
+    }
+    return *this;
+  }
+
+  graph::DayGraph build() const {
+    graph::DayGraph graph;
+    for (const auto& ev : events_) graph.add_event(ev);
+    graph.finalize();
+    return graph;
+  }
+
+  const std::vector<logs::ConnEvent>& events() const { return events_; }
+
+ private:
+  std::vector<logs::ConnEvent> events_;
+};
+
+}  // namespace eid::test

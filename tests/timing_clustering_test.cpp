@@ -1,0 +1,105 @@
+#include "timing/clustering.h"
+
+#include <gtest/gtest.h>
+
+namespace eid::timing {
+namespace {
+
+TEST(IntervalsTest, SuccessiveDifferences) {
+  const std::vector<util::TimePoint> ts = {100, 160, 220, 400};
+  const auto intervals = inter_connection_intervals(ts);
+  ASSERT_EQ(intervals.size(), 3u);
+  EXPECT_EQ(intervals[0], 60.0);
+  EXPECT_EQ(intervals[1], 60.0);
+  EXPECT_EQ(intervals[2], 180.0);
+}
+
+TEST(IntervalsTest, FewerThanTwoTimestamps) {
+  EXPECT_TRUE(inter_connection_intervals({}).empty());
+  const std::vector<util::TimePoint> one = {42};
+  EXPECT_TRUE(inter_connection_intervals(one).empty());
+}
+
+TEST(ClusteringTest, FirstIntervalSeedsFirstHub) {
+  const std::vector<double> intervals = {100.0};
+  const Histogram h = cluster_intervals(intervals, 10.0);
+  ASSERT_EQ(h.bins.size(), 1u);
+  EXPECT_EQ(h.bins[0].hub, 100.0);
+  EXPECT_EQ(h.bins[0].count, 1u);
+}
+
+TEST(ClusteringTest, NearbyIntervalsJoinTheHub) {
+  const std::vector<double> intervals = {100.0, 105.0, 95.0, 109.9};
+  const Histogram h = cluster_intervals(intervals, 10.0);
+  ASSERT_EQ(h.bins.size(), 1u);
+  EXPECT_EQ(h.bins[0].count, 4u);
+}
+
+TEST(ClusteringTest, FarIntervalsOpenNewClusters) {
+  const std::vector<double> intervals = {100.0, 300.0, 100.0, 305.0};
+  const Histogram h = cluster_intervals(intervals, 10.0);
+  ASSERT_EQ(h.bins.size(), 2u);
+  EXPECT_EQ(h.bins[0].hub, 100.0);
+  EXPECT_EQ(h.bins[0].count, 2u);
+  EXPECT_EQ(h.bins[1].hub, 300.0);
+  EXPECT_EQ(h.bins[1].count, 2u);
+}
+
+TEST(ClusteringTest, IntervalJoinsNearestEligibleHub) {
+  // 104 is within W of both 100 and 110; it must join the nearer one (100
+  // is 4 away, 110 is 6 away... wait: |104-100|=4, |104-110|=6 -> joins 100).
+  const std::vector<double> intervals = {100.0, 110.5, 104.0};
+  const Histogram h = cluster_intervals(intervals, 10.0);
+  // 110.5 is 10.5 > W from 100 so it opened its own cluster.
+  ASSERT_EQ(h.bins.size(), 2u);
+  EXPECT_EQ(h.bins[0].count, 2u);  // 100 and 104
+  EXPECT_EQ(h.bins[1].count, 1u);
+}
+
+TEST(ClusteringTest, TotalCountConservation) {
+  // Property: clustering never loses or duplicates intervals.
+  std::vector<double> intervals;
+  for (int i = 0; i < 500; ++i) {
+    intervals.push_back(50.0 + (i * 37) % 400);
+  }
+  for (const double width : {1.0, 5.0, 10.0, 20.0, 100.0}) {
+    const Histogram h = cluster_intervals(intervals, width);
+    EXPECT_EQ(h.total_count(), intervals.size()) << "W=" << width;
+  }
+}
+
+TEST(ClusteringTest, WiderBinsNeverIncreaseClusterCount) {
+  std::vector<double> intervals;
+  for (int i = 0; i < 200; ++i) {
+    intervals.push_back(100.0 + (i * 7919) % 300);
+  }
+  std::size_t previous = intervals.size() + 1;
+  for (const double width : {0.5, 2.0, 8.0, 32.0, 128.0, 512.0}) {
+    const Histogram h = cluster_intervals(intervals, width);
+    EXPECT_LE(h.bins.size(), previous) << "W=" << width;
+    previous = h.bins.size();
+  }
+}
+
+TEST(StaticBinsTest, AnchoredAtZero) {
+  const std::vector<double> intervals = {5.0, 14.9, 15.1, 25.0};
+  const Histogram h = static_bins(intervals, 10.0);
+  // Bins [0,10) [10,20) [20,30): counts 1, 2, 1.
+  ASSERT_EQ(h.bins.size(), 3u);
+  EXPECT_EQ(h.bins[0].count, 1u);
+  EXPECT_EQ(h.bins[1].count, 2u);
+  EXPECT_EQ(h.bins[2].count, 1u);
+}
+
+TEST(StaticBinsTest, AlignmentArtifactTheDynamicMethodAvoids) {
+  // Values straddling a static bin edge split into two bins even though
+  // they are within W of each other — the failure §IV-C calls out.
+  const std::vector<double> intervals = {99.0, 101.0, 99.5, 100.5};
+  const Histogram static_h = static_bins(intervals, 10.0);
+  EXPECT_EQ(static_h.bins.size(), 2u);
+  const Histogram dynamic_h = cluster_intervals(intervals, 10.0);
+  EXPECT_EQ(dynamic_h.bins.size(), 1u);
+}
+
+}  // namespace
+}  // namespace eid::timing

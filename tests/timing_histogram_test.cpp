@@ -1,0 +1,111 @@
+#include "timing/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace eid::timing {
+namespace {
+
+Histogram make(std::initializer_list<Bin> bins) {
+  Histogram h;
+  h.bins = bins;
+  return h;
+}
+
+TEST(HistogramTest, TotalCount) {
+  EXPECT_EQ(make({{10.0, 3}, {20.0, 7}}).total_count(), 10u);
+  EXPECT_EQ(Histogram{}.total_count(), 0u);
+}
+
+TEST(HistogramTest, TopBinByCountThenSmallerHub) {
+  const Histogram h = make({{30.0, 5}, {10.0, 5}, {20.0, 2}});
+  EXPECT_EQ(h.top_bin().hub, 10.0);  // tie broken toward smaller hub
+  const Histogram k = make({{30.0, 9}, {10.0, 5}});
+  EXPECT_EQ(k.top_bin().hub, 30.0);
+}
+
+TEST(JeffreyTest, IdenticalHistogramsHaveZeroDivergence) {
+  const Histogram h = make({{10.0, 4}, {25.0, 6}});
+  EXPECT_NEAR(jeffrey_divergence(h, h), 0.0, 1e-12);
+}
+
+TEST(JeffreyTest, ScaledHistogramIsIdenticalAfterNormalization) {
+  const Histogram h = make({{10.0, 2}, {25.0, 3}});
+  const Histogram k = make({{10.0, 20}, {25.0, 30}});
+  EXPECT_NEAR(jeffrey_divergence(h, k), 0.0, 1e-12);
+}
+
+TEST(JeffreyTest, Symmetric) {
+  const Histogram h = make({{10.0, 8}, {25.0, 2}});
+  const Histogram k = make({{10.0, 1}, {40.0, 9}});
+  EXPECT_NEAR(jeffrey_divergence(h, k), jeffrey_divergence(k, h), 1e-12);
+}
+
+TEST(JeffreyTest, DisjointHistogramsReachMaximum) {
+  // Fully disjoint distributions: d_J = 2 log 2.
+  const Histogram h = make({{10.0, 5}});
+  const Histogram k = make({{99.0, 5}});
+  EXPECT_NEAR(jeffrey_divergence(h, k), 2.0 * std::log(2.0), 1e-12);
+}
+
+TEST(JeffreyTest, NonNegativeOnRandomPairs) {
+  for (int i = 1; i <= 20; ++i) {
+    const Histogram h = make({{10.0, static_cast<std::size_t>(i)}, {20.0, 5}});
+    const Histogram k = make({{10.0, 3}, {30.0, static_cast<std::size_t>(i)}});
+    EXPECT_GE(jeffrey_divergence(h, k), 0.0);
+  }
+}
+
+TEST(JeffreyTest, DecreasesAsDominantFrequencyGrows) {
+  // Against a periodic reference, more mass on the dominant bin means a
+  // smaller divergence (this is what the JT threshold keys on).
+  const Histogram reference = periodic_reference(60.0);
+  double previous = 1e9;
+  for (std::size_t dominant = 5; dominant <= 50; dominant += 5) {
+    const Histogram h = make({{60.0, dominant}, {200.0, 2}});
+    const double d = jeffrey_divergence(h, reference);
+    EXPECT_LT(d, previous);
+    previous = d;
+  }
+}
+
+TEST(JeffreyTest, PerfectBeaconMatchesPeriodicReference) {
+  const Histogram h = make({{600.0, 143}});
+  EXPECT_NEAR(jeffrey_divergence(h, periodic_reference(600.0)), 0.0, 1e-12);
+}
+
+TEST(JeffreyTest, HubToleranceAlignsNearbyBins) {
+  const Histogram h = make({{10.0, 5}});
+  const Histogram k = make({{10.4, 5}});
+  EXPECT_GT(jeffrey_divergence(h, k, 1e-9), 1.0);   // treated as disjoint
+  EXPECT_NEAR(jeffrey_divergence(h, k, 0.5), 0.0, 1e-12);  // aligned
+}
+
+TEST(L1Test, Bounds) {
+  const Histogram h = make({{10.0, 5}});
+  const Histogram k = make({{99.0, 5}});
+  EXPECT_NEAR(l1_distance(h, k), 2.0, 1e-12);  // disjoint => maximal
+  EXPECT_NEAR(l1_distance(h, h), 0.0, 1e-12);
+}
+
+TEST(L1Test, AgreesWithJeffreyOnOrdering) {
+  // The paper notes L1 gives very similar results; check that both metrics
+  // order a cleaner beacon below a noisier one.
+  const Histogram reference = periodic_reference(60.0);
+  const Histogram clean = make({{60.0, 40}, {120.0, 1}});
+  const Histogram noisy = make({{60.0, 20}, {120.0, 15}, {240.0, 6}});
+  EXPECT_LT(jeffrey_divergence(clean, reference),
+            jeffrey_divergence(noisy, reference));
+  EXPECT_LT(l1_distance(clean, reference), l1_distance(noisy, reference));
+}
+
+TEST(PeriodicReferenceTest, SingleBinAtPeriod) {
+  const Histogram reference = periodic_reference(300.0);
+  ASSERT_EQ(reference.bins.size(), 1u);
+  EXPECT_EQ(reference.bins[0].hub, 300.0);
+  EXPECT_EQ(reference.bins[0].count, 1u);
+}
+
+}  // namespace
+}  // namespace eid::timing

@@ -1,0 +1,173 @@
+#include "timing/periodicity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace eid::timing {
+namespace {
+
+std::vector<util::TimePoint> beacon(double period, int n, double jitter_std = 0.0,
+                                    std::uint64_t seed = 1) {
+  util::Rng rng(seed);
+  std::vector<util::TimePoint> out;
+  double t = 1000.0;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(static_cast<util::TimePoint>(t));
+    t += period + (jitter_std > 0.0 ? rng.normal(0.0, jitter_std) : 0.0);
+  }
+  return out;
+}
+
+std::vector<util::TimePoint> random_times(int n, std::uint64_t seed = 2) {
+  util::Rng rng(seed);
+  std::vector<util::TimePoint> out;
+  util::TimePoint t = 1000;
+  for (int i = 0; i < n; ++i) {
+    t += 1 + static_cast<util::TimePoint>(rng.exponential(600.0));
+    out.push_back(t);
+  }
+  return out;
+}
+
+TEST(PeriodicityTest, PerfectBeaconIsAutomated) {
+  const PeriodicityDetector detector;
+  const auto result = detector.test(beacon(600.0, 100));
+  EXPECT_TRUE(result.automated);
+  EXPECT_NEAR(result.period, 600.0, 1.0);
+  EXPECT_NEAR(result.divergence, 0.0, 1e-9);
+}
+
+TEST(PeriodicityTest, JitteredBeaconStillAutomated) {
+  const PeriodicityDetector detector;  // W = 10 s
+  const auto result = detector.test(beacon(600.0, 100, 3.0));
+  EXPECT_TRUE(result.automated);
+  EXPECT_NEAR(result.period, 600.0, 12.0);
+}
+
+TEST(PeriodicityTest, BeaconWithOutliersStillAutomated) {
+  // Insert a couple of large gaps (missed beacons) — the failure mode that
+  // breaks the stddev strawman but not the dynamic histogram (§IV-C).
+  auto times = beacon(600.0, 100, 2.0);
+  times[40] += 5000;  // shifts two intervals
+  times[70] += 9000;
+  std::sort(times.begin(), times.end());
+  const PeriodicityDetector detector;
+  const auto result = detector.test(times);
+  EXPECT_TRUE(result.automated);
+
+  const StdDevDetector stddev;
+  EXPECT_FALSE(stddev.test(times).automated);
+}
+
+TEST(PeriodicityTest, RandomBrowsingNotAutomated) {
+  const PeriodicityDetector detector;
+  EXPECT_FALSE(detector.test(random_times(100)).automated);
+}
+
+TEST(PeriodicityTest, TooFewConnectionsNotAutomated) {
+  const PeriodicityDetector detector;  // min_intervals = 4
+  EXPECT_FALSE(detector.test(beacon(600.0, 4)).automated);  // 3 intervals
+  EXPECT_TRUE(detector.test(beacon(600.0, 6)).automated);   // 5 intervals
+}
+
+TEST(PeriodicityTest, ThresholdZeroAcceptsOnlyPureBeacons) {
+  PeriodicityDetector::Params params;
+  params.jeffrey_threshold = 0.0;
+  const PeriodicityDetector detector(params);
+  EXPECT_TRUE(detector.test(beacon(600.0, 50)).automated);
+  auto times = beacon(600.0, 50);
+  times.push_back(times.back() + 50);  // one stray interval
+  EXPECT_FALSE(detector.test(times).automated);
+}
+
+// Table II property: with W fixed, raising JT can only label more series
+// automated; with JT fixed, raising W can only help a jittered beacon.
+class JeffreyMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(JeffreyMonotonicity, LargerThresholdAdmitsSuperset) {
+  const double jitter = GetParam();
+  int admitted_low = 0;
+  int admitted_high = 0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const auto times = beacon(300.0, 60, jitter, seed);
+    PeriodicityDetector::Params low;
+    low.jeffrey_threshold = 0.034;
+    PeriodicityDetector::Params high;
+    high.jeffrey_threshold = 0.35;
+    const bool low_auto = PeriodicityDetector(low).test(times).automated;
+    const bool high_auto = PeriodicityDetector(high).test(times).automated;
+    if (low_auto) {
+      ++admitted_low;
+      EXPECT_TRUE(high_auto) << "JT monotonicity violated (seed " << seed << ")";
+    }
+    if (high_auto) ++admitted_high;
+  }
+  EXPECT_GE(admitted_high, admitted_low);
+}
+
+INSTANTIATE_TEST_SUITE_P(JitterLevels, JeffreyMonotonicity,
+                         ::testing::Values(0.0, 2.0, 8.0, 25.0, 80.0));
+
+TEST(StdDevDetectorTest, CleanBeaconDetected) {
+  const StdDevDetector detector;
+  EXPECT_TRUE(detector.test(beacon(600.0, 50, 1.0)).automated);
+}
+
+TEST(StdDevDetectorTest, SingleOutlierBreaksIt) {
+  auto times = beacon(600.0, 50, 1.0);
+  times.back() += 40000;  // one huge final gap
+  const StdDevDetector detector;
+  EXPECT_FALSE(detector.test(times).automated);
+}
+
+TEST(AutocorrDetectorTest, BeaconDetected) {
+  // Baselines get a jitter-free beacon: per-step jitter accumulates into
+  // phase drift, which slot-based methods tolerate far worse than the
+  // dynamic histogram (that asymmetry is the ablation bench's point).
+  const AutocorrDetector detector;
+  const auto result = detector.test(beacon(300.0, 80));
+  EXPECT_TRUE(result.automated);
+  EXPECT_NEAR(result.period, 300.0, 30.0);
+}
+
+TEST(AutocorrDetectorTest, RandomNotDetected) {
+  const AutocorrDetector detector;
+  EXPECT_FALSE(detector.test(random_times(80)).automated);
+}
+
+TEST(FftTest, RadixTwoMatchesAnalyticSine) {
+  const std::size_t n = 64;
+  std::vector<double> re(n);
+  std::vector<double> im(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    re[i] = std::sin(2.0 * 3.141592653589793 * 4.0 * static_cast<double>(i) /
+                     static_cast<double>(n));
+  }
+  fft_radix2(re, im);
+  // All energy should sit at bins 4 and n-4.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mag = std::sqrt(re[i] * re[i] + im[i] * im[i]);
+    if (i == 4 || i == n - 4) {
+      EXPECT_NEAR(mag, static_cast<double>(n) / 2.0, 1e-6);
+    } else {
+      EXPECT_NEAR(mag, 0.0, 1e-6);
+    }
+  }
+}
+
+TEST(FftDetectorTest, BeaconDetected) {
+  const FftDetector detector;
+  const auto result = detector.test(beacon(300.0, 120));
+  EXPECT_TRUE(result.automated);
+}
+
+TEST(FftDetectorTest, RandomNotDetected) {
+  const FftDetector detector;
+  EXPECT_FALSE(detector.test(random_times(120)).automated);
+}
+
+}  // namespace
+}  // namespace eid::timing

@@ -1,0 +1,137 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace eid::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, ForkIsIndependentOfParentConsumption) {
+  Rng parent(7);
+  Rng fork_before = parent.fork(5);
+  parent.next_u64();  // consuming the parent must not change fork streams
+  Rng fork_after = parent.fork(5);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(fork_before.next_u64(), fork_after.next_u64());
+  }
+}
+
+TEST(RngTest, ForksWithDifferentIdsDiffer) {
+  Rng parent(7);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(10), 10u);
+    const std::int64_t v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.uniform_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ExponentialHasApproximatelyRightMean) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(60.0);
+  EXPECT_NEAR(sum / n, 60.0, 2.5);
+}
+
+TEST(RngTest, NormalHasApproximatelyRightMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double ss = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    ss += v * v;
+  }
+  const double mean = sum / n;
+  const double var = ss / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, ZipfFavorsSmallRanks) {
+  Rng rng(17);
+  std::size_t low = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const std::size_t k = rng.zipf(1000, 1.1);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 1000u);
+    if (k <= 10) ++low;
+  }
+  // With alpha ~1.1 the top-10 ranks should get a large share of draws.
+  EXPECT_GT(low, n / 4);
+}
+
+TEST(RngTest, SampleIndicesAreDistinctAndInRange) {
+  Rng rng(19);
+  for (std::size_t k : {0u, 1u, 5u, 50u}) {
+    const auto sample = rng.sample_indices(50, k);
+    EXPECT_EQ(sample.size(), std::min<std::size_t>(k, 50));
+    std::set<std::size_t> uniq(sample.begin(), sample.end());
+    EXPECT_EQ(uniq.size(), sample.size());
+    for (const std::size_t idx : sample) EXPECT_LT(idx, 50u);
+  }
+}
+
+TEST(RngTest, SampleMoreThanPopulationReturnsAll) {
+  Rng rng(23);
+  const auto sample = rng.sample_indices(5, 100);
+  EXPECT_EQ(sample.size(), 5u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+}  // namespace
+}  // namespace eid::util

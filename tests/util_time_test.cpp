@@ -1,0 +1,92 @@
+#include "util/time.h"
+
+#include <gtest/gtest.h>
+
+namespace eid::util {
+namespace {
+
+TEST(TimeTest, EpochIsDayZero) {
+  EXPECT_EQ(make_day(1970, 1, 1), 0);
+  EXPECT_EQ(day_start(0), 0);
+}
+
+TEST(TimeTest, KnownDates) {
+  EXPECT_EQ(make_day(1970, 1, 2), 1);
+  EXPECT_EQ(make_day(2000, 3, 1), 11017);
+  EXPECT_EQ(make_day(2013, 2, 1), 15737);   // LANL bootstrap start
+  EXPECT_EQ(make_day(2014, 1, 1), 16071);   // AC training start
+}
+
+TEST(TimeTest, CivilRoundTripAcrossYears) {
+  for (Day day = make_day(2012, 1, 1); day <= make_day(2015, 12, 31); ++day) {
+    const CivilDate civil = civil_from_days(day);
+    EXPECT_EQ(days_from_civil(civil), day);
+  }
+}
+
+TEST(TimeTest, LeapYearHandling) {
+  EXPECT_EQ(make_day(2012, 2, 29) + 1, make_day(2012, 3, 1));
+  EXPECT_EQ(make_day(2013, 2, 28) + 1, make_day(2013, 3, 1));
+  EXPECT_EQ(make_day(2000, 2, 29) + 1, make_day(2000, 3, 1));  // 400-year rule
+}
+
+TEST(TimeTest, DayOfFloorsNegativeTimes) {
+  EXPECT_EQ(day_of(-1), -1);
+  EXPECT_EQ(day_of(-kSecondsPerDay), -1);
+  EXPECT_EQ(day_of(-kSecondsPerDay - 1), -2);
+  EXPECT_EQ(day_of(0), 0);
+  EXPECT_EQ(day_of(kSecondsPerDay - 1), 0);
+  EXPECT_EQ(day_of(kSecondsPerDay), 1);
+}
+
+TEST(TimeTest, SecondsIntoDay) {
+  const TimePoint t = make_time(2014, 2, 13, 10, 30, 15);
+  EXPECT_EQ(seconds_into_day(t), 10 * 3600 + 30 * 60 + 15);
+  EXPECT_EQ(day_of(t), make_day(2014, 2, 13));
+}
+
+TEST(TimeTest, FormatDay) {
+  EXPECT_EQ(format_day(make_day(2013, 3, 19)), "2013-03-19");
+  EXPECT_EQ(format_day(make_day(2014, 2, 1)), "2014-02-01");
+}
+
+TEST(TimeTest, FormatTime) {
+  EXPECT_EQ(format_time(make_time(2014, 2, 13, 9, 5, 7)), "2014-02-13T09:05:07Z");
+  EXPECT_EQ(format_time(0), "1970-01-01T00:00:00Z");
+}
+
+TEST(TimeTest, ParseDayRoundTrip) {
+  Day day = 0;
+  ASSERT_TRUE(parse_day("2013-03-22", day));
+  EXPECT_EQ(day, make_day(2013, 3, 22));
+  EXPECT_FALSE(parse_day("not-a-date", day));
+  EXPECT_FALSE(parse_day("2013-13-01", day));
+  EXPECT_FALSE(parse_day("2013-00-10", day));
+}
+
+TEST(TimeTest, ParseTimeRoundTrip) {
+  TimePoint t = 0;
+  ASSERT_TRUE(parse_time("2014-02-13T10:30:15Z", t));
+  EXPECT_EQ(t, make_time(2014, 2, 13, 10, 30, 15));
+  EXPECT_FALSE(parse_time("2014-02-13", t));
+  EXPECT_FALSE(parse_time("2014-02-13T25:00:00", t));
+}
+
+class TimeFormatRoundTrip : public ::testing::TestWithParam<TimePoint> {};
+
+TEST_P(TimeFormatRoundTrip, FormatThenParseIsIdentity) {
+  const TimePoint t = GetParam();
+  TimePoint parsed = 0;
+  ASSERT_TRUE(parse_time(format_time(t), parsed));
+  EXPECT_EQ(parsed, t);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Samples, TimeFormatRoundTrip,
+    ::testing::Values(0, 86399, make_time(2013, 2, 1, 0, 0, 1),
+                      make_time(2013, 3, 22, 23, 59, 59),
+                      make_time(2014, 2, 28, 12, 0, 0),
+                      make_time(2038, 1, 19, 3, 14, 7)));
+
+}  // namespace
+}  // namespace eid::util
