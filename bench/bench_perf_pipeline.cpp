@@ -1,9 +1,12 @@
 // Throughput benchmarks (google-benchmark) for the stages that must keep
 // up with terabyte-scale daily log volume (§II-C): domain folding, DNS and
 // proxy reduction, graph construction, periodicity testing, rare
-// extraction and belief propagation.
+// extraction, belief propagation, and the streaming api::Detector facade
+// (chunk-size sweep: throughput must be flat in the chunking).
 #include <benchmark/benchmark.h>
 
+#include "api/detector.h"
+#include "api/sources.h"
 #include "core/belief_propagation.h"
 #include "core/scorers.h"
 #include "eval/lanl_runner.h"
@@ -120,6 +123,40 @@ void BM_LanlDayAnalysis(benchmark::State& state) {
                           static_cast<std::int64_t>(events.size()));
 }
 BENCHMARK(BM_LanlDayAnalysis);
+
+void BM_DetectorAnalyzeStream(benchmark::State& state) {
+  // One operation day folded into the analysis chunk by chunk through the
+  // streaming facade. arg = events per chunk; the sweep shows the chunked
+  // path costs the same as one big batch.
+  sim::EnterpriseSimulator sim(bench_config(sim::Flavor::Proxy), {});
+  const util::Day day = util::make_day(2014, 1, 2);
+  const auto events = sim.reduced_day(day);
+  api::Detector detector(core::PipelineConfig{}, sim.whois());
+  const auto chunk = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    api::VectorSource source(day, &events, chunk);
+    benchmark::DoNotOptimize(detector.analyze_stream(source, day));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_DetectorAnalyzeStream)->Arg(256)->Arg(4096)->Arg(1 << 20);
+
+void BM_DetectorIngestProfile(benchmark::State& state) {
+  // Streaming profiling (bootstrap-month ingestion): O(distinct) memory,
+  // so the per-event cost is the floor for multi-terabyte ingest.
+  sim::EnterpriseSimulator sim(bench_config(sim::Flavor::Proxy), {});
+  const util::Day day = util::make_day(2014, 1, 2);
+  const auto events = sim.reduced_day(day);
+  api::Detector detector(core::PipelineConfig{}, sim.whois());
+  for (auto _ : state) {
+    api::VectorSource source(day, &events);
+    benchmark::DoNotOptimize(detector.ingest(source).events);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_DetectorIngestProfile);
 
 void BM_BeliefPropagation(benchmark::State& state) {
   // A synthetic frontier: one seed host fanning out to chains of domains.

@@ -1,16 +1,22 @@
 // Log replay: the production ingestion path with no simulator in the loop.
 //
 // Step 1 exports a simulated week of proxy logs + DHCP leases as TSV files
-// (stand-ins for the files your log collectors write). Step 2 reads them
-// back from disk, rebuilds the lease table, reduces, profiles and runs the
-// detector — exactly what a deployment's nightly batch job does.
+// (stand-ins for the files your log collectors write), then corrupts a few
+// lines the way a glitching collector would. Step 2 streams them back from
+// disk through api::TsvFileSource — parsing, reduction and analysis happen
+// chunk by chunk, so a day never has to fit in memory — rebuilds the lease
+// table, profiles and runs the detector: exactly what a deployment's
+// nightly batch job does. Malformed lines follow the std::nullopt contract
+// of logs::parse_*: counted and reported, never aborting the ingest.
 //
 // Usage: log_replay [directory=/tmp/eid-replay]
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
+#include "api/detector.h"
+#include "api/sources.h"
 #include "core/incidents.h"
-#include "core/pipeline.h"
 #include "logs/files.h"
 #include "sim/ac.h"
 #include "sim/export.h"
@@ -40,49 +46,74 @@ int main(int argc, char** argv) {
     std::printf("export failed\n");
     return 1;
   }
-  std::printf("exported %zu days, %zu records, %zu DHCP leases\n\n",
+  std::printf("exported %zu days, %zu records, %zu DHCP leases\n",
               exported.days, exported.records, exported.leases);
 
+  // A collector glitch: truncated/garbled lines in the first operation
+  // day's file. The replay must survive and account for them.
+  {
+    const auto victim =
+        dir / ("proxy-" + util::format_day(scenario.operation_begin()) + ".tsv");
+    std::ofstream corrupt(victim, std::ios::app);
+    corrupt << "1391212800\tproxy-0\t10.0\n"
+            << "not\ta\tvalid\trecord\n";
+  }
+
   // ---- Step 2: pure file-based detection ----
+  logs::FileReadStats dhcp_stats;
   logs::DhcpTable leases;
-  for (auto& lease : logs::read_dhcp_file(dir / "dhcp.tsv")) {
+  for (auto& lease : logs::read_dhcp_file(dir / "dhcp.tsv", &dhcp_stats)) {
     leases.add_lease(std::move(lease));
+  }
+  if (dhcp_stats.malformed > 0) {
+    std::printf("warning: %zu malformed DHCP lease line(s) skipped\n",
+                dhcp_stats.malformed);
   }
   const logs::ProxyReductionConfig reduction = simulator.proxy_reduction_config();
 
-  core::Pipeline pipeline(core::PipelineConfig{}, simulator.whois());
+  api::Detector detector(core::PipelineConfig{}, simulator.whois());
   const core::LabelFn intel = [&](const std::string& domain) {
     return scenario.oracle().vt_reported(domain);
   };
 
-  const auto day_events = [&](util::Day day) {
-    logs::FileReadStats read_stats;
-    const auto records = logs::read_proxy_file(
-        dir / ("proxy-" + util::format_day(day) + ".tsv"), &read_stats);
-    if (read_stats.malformed > 0) {
-      std::printf("  warning: %zu malformed lines on %s\n", read_stats.malformed,
+  const auto day_source = [&](util::Day day) {
+    return api::TsvFileSource(dir / ("proxy-" + util::format_day(day) + ".tsv"),
+                              day, leases, reduction);
+  };
+  std::size_t malformed_total = 0;
+  const auto account = [&](util::Day day, const api::TsvFileSource& source) {
+    const api::TsvFileSource::Stats& stats = source.stats();
+    if (!stats.opened) {
+      std::printf("  warning: missing log file for %s\n",
                   util::format_day(day).c_str());
     }
-    return logs::reduce_proxy(records, leases, reduction);
+    if (stats.malformed > 0) {
+      malformed_total += stats.malformed;
+      std::printf("  warning: %zu malformed line(s) on %s (%zu parsed)\n",
+                  stats.malformed, util::format_day(day).c_str(), stats.parsed);
+    }
   };
 
-  std::printf("training from files...\n");
+  std::printf("\ntraining from files...\n");
   for (util::Day day = first; day <= scenario.training_end(); ++day) {
-    const auto events = day_events(day);
+    api::TsvFileSource source = day_source(day);
     if (day <= scenario.training_end() - 14) {
-      pipeline.profile_day(events);
+      detector.ingest(source);
     } else {
-      pipeline.train_day(events, day, intel);
+      detector.ingest(source, intel);
     }
+    account(day, source);
   }
-  const auto training = pipeline.finalize_training();
+  const core::TrainingReport training = detector.finalize_training();
   std::printf("C&C model: %zu rows, %zu reported\n\n", training.cc_rows,
               training.cc_positive);
 
   core::IncidentStore incidents;
   for (util::Day day = scenario.operation_begin(); day <= last; ++day) {
+    api::TsvFileSource source = day_source(day);
     const core::DayReport report =
-        pipeline.run_day(day_events(day), day, core::SocSeeds{});
+        detector.run_day(source, day, core::SocSeeds{});
+    account(day, source);
     std::vector<std::string> domains;
     for (const auto& det : report.cc_domains) domains.push_back(det.name);
     for (const auto& det : report.nohint.domains) domains.push_back(det.name);
@@ -102,5 +133,7 @@ int main(int argc, char** argv) {
                 incident.domains.size(), incident.hosts.size(),
                 incident.days_active);
   }
+  std::printf("\n%zu malformed log line(s) survived across the replay\n",
+              malformed_total);
   return 0;
 }

@@ -1,14 +1,20 @@
 // Quickstart: the smallest end-to-end use of the library.
 //
 // 1. Simulate a small enterprise (stand-in for your own proxy logs).
-// 2. Train the pipeline: profile a bootstrap period, then fit the C&C and
-//    similarity regressions against an intelligence feed.
+// 2. Train the detector through the streaming ingestion API: profile a
+//    bootstrap period, then fit the C&C and similarity regressions against
+//    an intelligence feed.
 // 3. Run one day in operation mode and print what the detector found.
+//
+// Everything flows through eid::api::Detector + EventSource — the same
+// chunked path that ingests replayed log files (see log_replay.cpp) and
+// NetFlow, so no day ever has to fit in memory as one vector.
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
-#include "core/pipeline.h"
+#include "api/detector.h"
+#include "api/sources.h"
 #include "eval/metrics.h"
 #include "sim/ac.h"
 
@@ -27,34 +33,37 @@ int main() {
   sim::AcScenario scenario(world);
   auto& simulator = scenario.simulator();
 
-  // The detection pipeline. In production the WhoisSource would wrap real
+  // The detection facade. In production the WhoisSource would wrap real
   // WHOIS queries; here it is the scenario's synthetic registry.
   core::PipelineConfig config;  // W=10s, JT=0.06, Tc=0.4, Ts=0.33
-  core::Pipeline pipeline(config, simulator.whois());
+  api::Detector detector(config, simulator.whois());
 
   // ---- Training month (Fig. 1, left) ----
   const util::Day jan1 = scenario.training_begin();
+  const util::Day jan31 = scenario.training_end();
   const core::LabelFn intel = [&](const std::string& domain) {
     return scenario.oracle().vt_reported(domain);  // "VirusTotal" lookup
   };
-  for (util::Day day = jan1; day <= scenario.training_end(); ++day) {
-    const auto events = simulator.reduced_day(day);
-    if (day < scenario.training_end() - 13) {
-      pipeline.profile_day(events);  // build domain/UA histories
-    } else {
-      pipeline.train_day(events, day, intel);  // accumulate labeled rows
-    }
-  }
-  const core::TrainingReport training = pipeline.finalize_training();
+
+  // Bootstrap: build domain/UA histories from the first weeks of traffic.
+  api::SimSource bootstrap(simulator, jan1, jan31 - 14);
+  const api::IngestReport profiled = detector.ingest(bootstrap);
+  // Last two weeks: accumulate labeled regression rows day by day.
+  api::SimSource labeled(simulator, jan31 - 13, jan31);
+  detector.ingest(labeled, intel);
+
+  const core::TrainingReport training = detector.finalize_training();
+  std::printf("profiled %zu days (%zu events, %zu chunks)\n", profiled.days,
+              profiled.events, profiled.chunks);
   std::printf("trained on %zu automated domains (%zu reported by intel)\n",
               training.cc_rows, training.cc_positive);
 
   // ---- One day of operation (Fig. 1, right) ----
   const util::Day today = scenario.operation_begin() + 1;
-  const auto events = simulator.reduced_day(today);
   core::SocSeeds seeds;
   seeds.domains = scenario.ioc_seeds();  // the SOC's IOC list
-  const core::DayReport report = pipeline.run_day(events, today, seeds);
+  api::SimSource day_source(simulator, today, today);
+  const core::DayReport report = detector.run_day(day_source, today, seeds);
 
   std::printf("\n%s: %zu events, %zu hosts, %zu domains (%zu rare)\n",
               util::format_day(today).c_str(), report.events, report.hosts,

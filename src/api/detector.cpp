@@ -1,0 +1,73 @@
+#include "api/detector.h"
+
+#include <optional>
+#include <utility>
+
+namespace eid::api {
+
+IngestReport Detector::ingest(EventSource& source) {
+  IngestReport report;
+  bool open = false;
+  util::Day current = 0;
+  core::ProfileAccumulator accumulator = pipeline_.begin_profile();
+  while (auto chunk = source.next_chunk()) {
+    if (open && chunk->day != current) {
+      pipeline_.finish_profile(std::move(accumulator));
+      accumulator = pipeline_.begin_profile();
+      ++report.days;
+    }
+    open = true;
+    current = chunk->day;
+    accumulator.add_chunk(chunk->events);
+    ++report.chunks;
+    report.events += chunk->events.size();
+  }
+  if (open) {
+    pipeline_.finish_profile(std::move(accumulator));
+    ++report.days;
+  }
+  return report;
+}
+
+IngestReport Detector::ingest(EventSource& source, const core::LabelFn& intel) {
+  IngestReport report;
+  std::optional<core::DayAccumulator> accumulator;
+  const auto finish = [&] {
+    const core::DayAnalysis analysis =
+        pipeline_.finish_day(std::move(*accumulator));
+    pipeline_.train_from_analysis(analysis, intel);
+    pipeline_.update_histories(analysis.graph);
+    ++report.days;
+  };
+  while (auto chunk = source.next_chunk()) {
+    if (accumulator && accumulator->day() != chunk->day) {
+      finish();
+      accumulator.reset();
+    }
+    if (!accumulator) accumulator.emplace(pipeline_.begin_day(chunk->day));
+    accumulator->add_chunk(chunk->events);
+    ++report.chunks;
+    report.events += chunk->events.size();
+  }
+  if (accumulator) finish();
+  return report;
+}
+
+core::DayAnalysis Detector::analyze_stream(EventSource& source,
+                                           util::Day day) const {
+  core::DayAccumulator accumulator = pipeline_.begin_day(day);
+  while (auto chunk = source.next_chunk()) {
+    accumulator.add_chunk(chunk->events);
+  }
+  return pipeline_.finish_day(std::move(accumulator));
+}
+
+core::DayReport Detector::run_day(EventSource& source, util::Day day,
+                                  const core::SocSeeds& seeds) {
+  const core::DayAnalysis analysis = analyze_stream(source, day);
+  core::DayReport report = pipeline_.report_day(analysis, seeds);
+  pipeline_.update_histories(analysis.graph);
+  return report;
+}
+
+}  // namespace eid::api

@@ -1,0 +1,92 @@
+// eid::api::Detector — the public facade over the Fig. 1 system, built
+// around streaming ingestion. Every verb consumes an EventSource instead
+// of a materialized event vector, so the same code path serves in-memory
+// days, replayed TSV log files, live simulation and NetFlow — and scales
+// to out-of-core datasets: a day is folded into the analysis chunk by
+// chunk (graph/interner updates per chunk, profile lookups and feature
+// analysis once at day end), never holding the raw day in memory.
+//
+//   Detector detector(config, whois);
+//   detector.ingest(bootstrap_source);          // profiling (histories)
+//   detector.ingest(training_source, intel);    // labeled regression rows
+//   detector.finalize_training();
+//   DayReport report = detector.run_day(day_source, day, seeds);
+//
+// Results are bit-identical to the legacy core::Pipeline vector entry
+// points for any chunking of the same event sequence (see
+// tests/api_equivalence_test.cpp).
+#pragma once
+
+#include "api/event_source.h"
+#include "core/pipeline.h"
+
+namespace eid::api {
+
+/// Aggregate counters for one ingest() call.
+struct IngestReport {
+  std::size_t days = 0;
+  std::size_t chunks = 0;
+  std::size_t events = 0;
+};
+
+class Detector {
+ public:
+  Detector(core::PipelineConfig config, const features::WhoisSource& whois)
+      : pipeline_(config, whois) {}
+
+  // ---- Training (Fig. 1, left) ----
+
+  /// Stream days into the profiling stage: domain/UA histories only.
+  /// Day boundaries come from the chunk tags; each day is committed to the
+  /// histories when its last chunk has been consumed.
+  IngestReport ingest(EventSource& source);
+
+  /// Stream labeled days into regression training: per day, incremental
+  /// analysis, then C&C + similarity row extraction against `intel`, then
+  /// the end-of-day history update.
+  IngestReport ingest(EventSource& source, const core::LabelFn& intel);
+
+  /// Fit the C&C and similarity regressions from the accumulated rows.
+  core::TrainingReport finalize_training() {
+    return pipeline_.finalize_training();
+  }
+
+  /// Install externally-fit models (core/model_io.h persistence).
+  void set_models(core::ScoredModel cc, core::ScoredModel sim) {
+    pipeline_.set_models(std::move(cc), std::move(sim));
+  }
+
+  /// Install a global-popularity whitelist; must outlive the detector.
+  void set_top_sites(const profile::TopSitesList* top_sites) {
+    pipeline_.set_top_sites(top_sites);
+  }
+
+  // ---- Operation (Fig. 1, right) ----
+
+  /// Build one day's pre-threshold analysis incrementally from the stream.
+  /// The source is expected to carry a single day's traffic; the analysis
+  /// is keyed by `day` regardless of chunk tags. No history update.
+  core::DayAnalysis analyze_stream(EventSource& source, util::Day day) const;
+
+  /// Full operation day: analyze_stream + C&C detection + both BP modes +
+  /// end-of-day history update (from the day graph — the raw events are
+  /// never retained).
+  core::DayReport run_day(EventSource& source, util::Day day,
+                          const core::SocSeeds& seeds = {});
+
+  /// End-of-day history update for a day analyzed with analyze_stream()
+  /// (callers that sweep thresholds before committing the day).
+  void update_histories(const core::DayAnalysis& analysis) {
+    pipeline_.update_histories(analysis.graph);
+  }
+
+  /// The underlying pipeline, for threshold sweeps (detect_cc,
+  /// run_bp_nohint, ...) and model/history access.
+  core::Pipeline& pipeline() { return pipeline_; }
+  const core::Pipeline& pipeline() const { return pipeline_; }
+
+ private:
+  core::Pipeline pipeline_;
+};
+
+}  // namespace eid::api

@@ -1,0 +1,167 @@
+#include "api/sources.h"
+
+#include <string>
+#include <utility>
+
+#include "logs/io.h"
+
+namespace eid::api {
+
+// ---------------------------------------------------------------------------
+// TsvFileSource
+
+TsvFileSource::TsvFileSource(std::filesystem::path path, util::Day day,
+                             const logs::DhcpTable& leases,
+                             logs::ProxyReductionConfig reduction,
+                             std::size_t chunk_records)
+    : path_(std::move(path)),
+      day_(day),
+      format_(Format::Proxy),
+      leases_(&leases),
+      proxy_reduction_(std::move(reduction)),
+      chunk_records_(chunk_records == 0 ? kDefaultChunkEvents : chunk_records) {
+  open();
+}
+
+TsvFileSource::TsvFileSource(std::filesystem::path path, util::Day day,
+                             logs::DnsReductionConfig reduction,
+                             std::size_t chunk_records)
+    : path_(std::move(path)),
+      day_(day),
+      format_(Format::Dns),
+      dns_reduction_(std::move(reduction)),
+      chunk_records_(chunk_records == 0 ? kDefaultChunkEvents : chunk_records) {
+  open();
+}
+
+void TsvFileSource::open() {
+  file_.open(path_);
+  stats_.opened = static_cast<bool>(file_);
+}
+
+std::optional<EventChunk> TsvFileSource::next_chunk() {
+  std::string line;
+  // A chunk of records can reduce to zero events (all dropped); keep
+  // reading until something survives or the file is exhausted.
+  while (file_) {
+    std::vector<logs::DnsRecord> dns_records;
+    std::vector<logs::ProxyRecord> proxy_records;
+    std::size_t parsed = 0;
+    while (parsed < chunk_records_ && std::getline(file_, line)) {
+      if (line.empty()) continue;
+      ++stats_.lines;
+      if (format_ == Format::Dns) {
+        if (auto rec = logs::parse_dns_line(line)) {
+          dns_records.push_back(std::move(*rec));
+          ++parsed;
+          ++stats_.parsed;
+        } else {
+          ++stats_.malformed;
+        }
+      } else {
+        if (auto rec = logs::parse_proxy_line(line)) {
+          proxy_records.push_back(std::move(*rec));
+          ++parsed;
+          ++stats_.parsed;
+        } else {
+          ++stats_.malformed;
+        }
+      }
+    }
+    if (parsed == 0) break;
+    buffer_ = format_ == Format::Dns
+                  ? logs::reduce_dns(dns_records, dns_reduction_)
+                  : logs::reduce_proxy(proxy_records, *leases_, proxy_reduction_);
+    if (!buffer_.empty()) {
+      stats_.events += buffer_.size();
+      return EventChunk{day_, buffer_};
+    }
+  }
+  // Day-boundary marker: a readable file whose lines all reduced away is
+  // still an (empty) day, exactly like the legacy read-then-profile loop.
+  if (stats_.opened && stats_.events == 0 && !empty_marker_sent_) {
+    empty_marker_sent_ = true;
+    return EventChunk{day_, {}};
+  }
+  return std::nullopt;
+}
+
+bool TsvFileSource::reset() {
+  file_.close();
+  file_.clear();
+  stats_ = Stats{};
+  buffer_.clear();
+  empty_marker_sent_ = false;
+  open();
+  return stats_.opened;
+}
+
+// ---------------------------------------------------------------------------
+// SimSource
+
+SimSource::SimSource(sim::EnterpriseSimulator& simulator, util::Day first,
+                     util::Day last, std::size_t chunk_events)
+    : simulator_(&simulator),
+      next_day_(first),
+      last_(last),
+      chunk_events_(chunk_events == 0 ? kDefaultChunkEvents : chunk_events) {}
+
+std::optional<EventChunk> SimSource::next_chunk() {
+  while (pos_ >= buffer_.size()) {
+    if (next_day_ > last_) return std::nullopt;
+    current_day_ = next_day_++;
+    buffer_ = simulator_->reduced_day(current_day_);
+    pos_ = 0;
+    // Day-boundary marker for a day with no surviving events.
+    if (buffer_.empty()) return EventChunk{current_day_, {}};
+  }
+  const std::size_t count = std::min(chunk_events_, buffer_.size() - pos_);
+  EventChunk chunk{current_day_, std::span(buffer_.data() + pos_, count)};
+  pos_ += count;
+  return chunk;
+}
+
+// ---------------------------------------------------------------------------
+// NetflowSource
+
+NetflowSource::NetflowSource(util::Day day, std::vector<logs::FlowRecord> flows,
+                             const logs::PassiveDnsCache& pdns,
+                             logs::FlowReductionConfig reduction,
+                             std::size_t chunk_flows)
+    : day_(day),
+      flows_(std::move(flows)),
+      pdns_(&pdns),
+      reduction_(std::move(reduction)),
+      chunk_flows_(chunk_flows == 0 ? kDefaultChunkEvents : chunk_flows) {}
+
+std::optional<EventChunk> NetflowSource::next_chunk() {
+  while (pos_ < flows_.size()) {
+    const std::size_t count = std::min(chunk_flows_, flows_.size() - pos_);
+    logs::FlowReductionStats chunk_stats;
+    buffer_ = logs::reduce_flows(
+        std::span(flows_.data() + pos_, count), *pdns_, reduction_, &chunk_stats);
+    pos_ += count;
+    stats_.total_flows += chunk_stats.total_flows;
+    stats_.port_filtered += chunk_stats.port_filtered;
+    stats_.internal_destinations += chunk_stats.internal_destinations;
+    stats_.unattributed += chunk_stats.unattributed;
+    stats_.kept += chunk_stats.kept;
+    if (!buffer_.empty()) return EventChunk{day_, buffer_};
+  }
+  // Day-boundary marker for a day where no flow survived attribution.
+  if (stats_.kept == 0 && !empty_marker_sent_) {
+    empty_marker_sent_ = true;
+    return EventChunk{day_, {}};
+  }
+  return std::nullopt;
+}
+
+bool NetflowSource::reset() {
+  pos_ = 0;
+  stats_ = logs::FlowReductionStats{};
+  buffer_.clear();
+  empty_marker_sent_ = false;
+  return true;
+}
+
+}  // namespace eid::api

@@ -41,6 +41,14 @@ void Pipeline::profile_day(const std::vector<logs::ConnEvent>& events) {
   update_histories(events);
 }
 
+void Pipeline::finish_profile(ProfileAccumulator&& accumulator) {
+  domain_history_.update(
+      {accumulator.domains_.begin(), accumulator.domains_.end()});
+  for (const auto& [ua, hosts] : accumulator.ua_hosts_) {
+    for (const auto& host : hosts) ua_history_.observe(ua, host);
+  }
+}
+
 void Pipeline::update_histories(const std::vector<logs::ConnEvent>& events) {
   std::unordered_set<std::string> domains;
   for (const auto& event : events) domains.insert(event.domain);
@@ -48,12 +56,28 @@ void Pipeline::update_histories(const std::vector<logs::ConnEvent>& events) {
   ua_history_.observe_day(events);
 }
 
+void Pipeline::update_histories(const graph::DayGraph& graph) {
+  profile::update_history(domain_history_, graph);
+  graph.for_each_edge([this, &graph](graph::HostId host, graph::DomainId,
+                                     const graph::EdgeData& edge) {
+    for (const graph::UaId ua : edge.user_agents) {
+      ua_history_.observe(graph.ua_name(ua), graph.host_name(host));
+    }
+  });
+}
+
 DayAnalysis Pipeline::analyze_day(const std::vector<logs::ConnEvent>& events,
                                   util::Day day) const {
+  DayAccumulator accumulator = begin_day(day);
+  accumulator.add_chunk(events);
+  return finish_day(std::move(accumulator));
+}
+
+DayAnalysis Pipeline::finish_day(DayAccumulator&& accumulator) const {
   DayAnalysis analysis;
-  analysis.day = day;
-  analysis.event_count = events.size();
-  for (const auto& event : events) analysis.graph.add_event(event);
+  analysis.day = accumulator.day_;
+  analysis.event_count = accumulator.events_;
+  analysis.graph = std::move(accumulator.graph_);
   analysis.graph.finalize();
   profile::RareExtraction rare = profile::extract_rare_destinations(
       analysis.graph, domain_history_, config_.popularity_threshold);
@@ -84,7 +108,13 @@ DayState Pipeline::make_state(const DayAnalysis& analysis) const {
 
 void Pipeline::train_day(const std::vector<logs::ConnEvent>& events, util::Day day,
                          const LabelFn& intel) {
-  const DayAnalysis analysis = analyze_day(events, day);
+  train_from_analysis(analyze_day(events, day), intel);
+  update_histories(events);
+}
+
+void Pipeline::train_from_analysis(const DayAnalysis& analysis,
+                                   const LabelFn& intel) {
+  const util::Day day = analysis.day;
 
   // C&C rows: every rare automated domain, labeled by the intel feed.
   std::vector<graph::DomainId> reported_automated;
@@ -133,7 +163,6 @@ void Pipeline::train_day(const std::vector<logs::ConnEvent>& events, util::Day d
       sim_labels_.push_back(intel(analysis.graph.domain_name(domain)) ? 1.0 : 0.0);
     }
   }
-  update_histories(events);
 }
 
 TrainingReport Pipeline::finalize_training() {
@@ -288,11 +317,10 @@ BpRunReport Pipeline::run_bp_sochints(const DayAnalysis& analysis,
   return report_from(analysis.graph, result);
 }
 
-DayReport Pipeline::run_day(const std::vector<logs::ConnEvent>& events,
-                            util::Day day, const SocSeeds& seeds) {
+DayReport Pipeline::report_day(const DayAnalysis& analysis,
+                               const SocSeeds& seeds) const {
   DayReport report;
-  report.day = day;
-  const DayAnalysis analysis = analyze_day(events, day);
+  report.day = analysis.day;
   report.events = analysis.event_count;
   report.hosts = analysis.graph.host_count();
   report.domains = analysis.graph.domain_count();
@@ -305,6 +333,13 @@ DayReport Pipeline::run_day(const std::vector<logs::ConnEvent>& events,
   if (!seeds.hosts.empty() || !seeds.domains.empty()) {
     report.sochints = run_bp_sochints(analysis, seeds);
   }
+  return report;
+}
+
+DayReport Pipeline::run_day(const std::vector<logs::ConnEvent>& events,
+                            util::Day day, const SocSeeds& seeds) {
+  const DayAnalysis analysis = analyze_day(events, day);
+  DayReport report = report_day(analysis, seeds);
   update_histories(events);
   return report;
 }

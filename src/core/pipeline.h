@@ -15,11 +15,22 @@
 // analyze_day() is separated from run_day() so benchmarks can sweep
 // thresholds over one day's analysis without recomputing it, and so
 // history updates stay explicit.
+//
+// Ingestion is incremental: a day is built chunk-by-chunk through
+// DayAccumulator (begin_day / add_chunk / finish_day), so callers never
+// need a fully materialized per-day event vector. The vector entry points
+// (analyze_day, train_day, run_day, profile_day) are thin adapters over
+// the incremental path and produce bit-identical results for any chunking
+// of the same event sequence. api::Detector exposes this as a streaming
+// EventSource API.
 #pragma once
 
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/scorers.h"
@@ -99,6 +110,67 @@ struct SocSeeds {
 /// paper) reports the domain malicious.
 using LabelFn = std::function<bool(const std::string& domain)>;
 
+/// Incremental builder for one day's analysis. Obtain from
+/// Pipeline::begin_day(), feed events in any number of chunks, then hand
+/// back to Pipeline::finish_day(). Only the day graph grows while chunks
+/// arrive, so the result is identical for any chunking of the same event
+/// sequence — finalize/rare-extraction/automation all run in finish_day().
+class DayAccumulator {
+ public:
+  void add(const logs::ConnEvent& event) {
+    graph_.add_event(event);
+    ++events_;
+  }
+
+  void add_chunk(std::span<const logs::ConnEvent> events) {
+    for (const auto& event : events) add(event);
+  }
+
+  util::Day day() const { return day_; }
+  std::size_t event_count() const { return events_; }
+
+ private:
+  friend class Pipeline;
+  explicit DayAccumulator(util::Day day) : day_(day) {}
+
+  util::Day day_;
+  graph::DayGraph graph_;
+  std::size_t events_ = 0;
+};
+
+/// Incremental collector for the profiling stage (bootstrap month): only
+/// the day's distinct domains and distinct (UA, host) pairs are retained,
+/// so memory stays O(distinct) for arbitrarily large days. Histories are
+/// committed at end-of-day by Pipeline::finish_profile(), preserving the
+/// "today's traffic does not mask today's new destinations" contract.
+class ProfileAccumulator {
+ public:
+  void add(const logs::ConnEvent& event) {
+    ++events_;
+    domains_.insert(event.domain);
+    if (!event.has_http_context || event.user_agent.empty()) return;
+    auto& hosts = ua_hosts_[event.user_agent];
+    // A UA with `ua_cap_` distinct hosts in one day is popular regardless
+    // of prior history, so further hosts add no information.
+    if (ua_cap_ == 0 || hosts.size() < ua_cap_) hosts.insert(event.host);
+  }
+
+  void add_chunk(std::span<const logs::ConnEvent> events) {
+    for (const auto& event : events) add(event);
+  }
+
+  std::size_t event_count() const { return events_; }
+
+ private:
+  friend class Pipeline;
+  explicit ProfileAccumulator(std::size_t ua_cap) : ua_cap_(ua_cap) {}
+
+  std::size_t ua_cap_;
+  std::size_t events_ = 0;
+  std::unordered_set<std::string> domains_;
+  std::unordered_map<std::string, std::unordered_set<std::string>> ua_hosts_;
+};
+
 /// Outcome of finalize_training(), for reporting regression diagnostics
 /// (§VI-A: coefficient signs and significance).
 struct TrainingReport {
@@ -121,10 +193,21 @@ class Pipeline {
   /// Stage 2 (bootstrap month): update histories only.
   void profile_day(const std::vector<logs::ConnEvent>& events);
 
+  /// Streaming profiling: begin a day, feed chunks, commit at day end.
+  ProfileAccumulator begin_profile() const {
+    return ProfileAccumulator(config_.ua_rare_threshold);
+  }
+  void finish_profile(ProfileAccumulator&& accumulator);
+
   /// Stages 3-4: accumulate labeled regression rows for one day, then
   /// update histories.
   void train_day(const std::vector<logs::ConnEvent>& events, util::Day day,
                  const LabelFn& intel);
+
+  /// Stages 3-4 for an already-computed analysis: accumulate labeled
+  /// regression rows only. The caller owns the end-of-day history update
+  /// (update_histories() with the day's events or graph).
+  void train_from_analysis(const DayAnalysis& analysis, const LabelFn& intel);
 
   /// Fit the C&C and similarity regressions from the accumulated rows.
   TrainingReport finalize_training();
@@ -143,8 +226,17 @@ class Pipeline {
   // ---- Operation ----
 
   /// Steps 1-2 + feature analysis, no thresholding, no history update.
+  /// Adapter over begin_day/finish_day for callers with a materialized day.
   DayAnalysis analyze_day(const std::vector<logs::ConnEvent>& events,
                           util::Day day) const;
+
+  /// Start incremental analysis of one day (streaming ingestion).
+  DayAccumulator begin_day(util::Day day) const { return DayAccumulator(day); }
+
+  /// Finalize an incremental day: graph views, rare extraction, automation
+  /// analysis, WHOIS defaults. Identical to analyze_day() over the
+  /// concatenation of every chunk fed to the accumulator.
+  DayAnalysis finish_day(DayAccumulator&& accumulator) const;
 
   /// All automated rare domains of the day with their scores, unthresholded
   /// (the Fig. 5 / Fig. 6a series).
@@ -166,6 +258,15 @@ class Pipeline {
 
   /// End-of-day profile update (operation step 2, "histories are updated").
   void update_histories(const std::vector<logs::ConnEvent>& events);
+
+  /// End-of-day profile update from a finalized day graph — the streaming
+  /// path, where the raw events are gone but the graph holds the day's
+  /// distinct domains and (host, UA) pairs. Equivalent to the event form.
+  void update_histories(const graph::DayGraph& graph);
+
+  /// Thresholding + both BP modes over an already-computed analysis, no
+  /// history update.
+  DayReport report_day(const DayAnalysis& analysis, const SocSeeds& seeds) const;
 
   /// Convenience: analyze + detect + both BP modes + history update.
   DayReport run_day(const std::vector<logs::ConnEvent>& events, util::Day day,

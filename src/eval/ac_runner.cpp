@@ -1,13 +1,16 @@
 #include "eval/ac_runner.h"
 
+#include <algorithm>
 #include <unordered_set>
+
+#include "api/sources.h"
 
 namespace eid::eval {
 
 AcRunner::AcRunner(sim::AcScenario& scenario, AcRunnerConfig config)
     : scenario_(scenario),
       config_(config),
-      pipeline_(config.pipeline, scenario.simulator().whois()) {}
+      detector_(config.pipeline, scenario.simulator().whois()) {}
 
 core::TrainingReport AcRunner::train() {
   const util::Day first = scenario_.training_begin();
@@ -17,25 +20,23 @@ core::TrainingReport AcRunner::train() {
   const core::LabelFn intel = [&oracle](const std::string& domain) {
     return oracle.vt_reported(domain);
   };
-  for (util::Day day = first; day <= last; ++day) {
-    const auto events = scenario_.simulator().reduced_day(day);
-    if (day < train_from) {
-      pipeline_.profile_day(events);
-    } else {
-      pipeline_.train_day(events, day, intel);
-    }
+  if (train_from > first) {
+    api::SimSource bootstrap(scenario_.simulator(), first, train_from - 1);
+    detector_.ingest(bootstrap);
   }
+  api::SimSource labeled(scenario_.simulator(), std::max(first, train_from), last);
+  detector_.ingest(labeled, intel);
   trained_ = true;
-  return pipeline_.finalize_training();
+  return detector_.finalize_training();
 }
 
 void AcRunner::run_operation(const DayCallback& callback) {
   for (util::Day day = scenario_.operation_begin();
        day <= scenario_.operation_end(); ++day) {
-    const auto events = scenario_.simulator().reduced_day(day);
-    const core::DayAnalysis analysis = pipeline_.analyze_day(events, day);
+    api::SimSource source(scenario_.simulator(), day, day);
+    const core::DayAnalysis analysis = detector_.analyze_stream(source, day);
     callback(day, analysis);
-    pipeline_.update_histories(events);
+    detector_.update_histories(analysis);
   }
 }
 
@@ -52,15 +53,16 @@ AcRunner::MonthReport AcRunner::run_month(double tc, double ts_nohint,
   std::unordered_set<std::string> nohint_hosts;
   std::unordered_set<std::string> automated_seen;
 
+  core::Pipeline& pipeline = detector_.pipeline();
   run_operation([&](util::Day /*day*/, const core::DayAnalysis& analysis) {
-    for (const core::ScoredDomain& dom : pipeline_.score_automated(analysis)) {
+    for (const core::ScoredDomain& dom : pipeline.score_automated(analysis)) {
       automated_seen.insert(dom.name);
     }
-    const auto cc = pipeline_.detect_cc(analysis, tc);
+    const auto cc = pipeline.detect_cc(analysis, tc);
     for (const core::ScoredDomain& dom : cc) cc_seen.insert(dom.name);
 
     const core::BpRunReport nohint =
-        pipeline_.run_bp_nohint(analysis, cc, ts_nohint);
+        pipeline.run_bp_nohint(analysis, cc, ts_nohint);
     for (const core::ScoredDomain& dom : cc) nohint_seen.insert(dom.name);
     for (const core::DetectedDomain& dom : nohint.domains) {
       nohint_seen.insert(dom.name);
@@ -68,7 +70,7 @@ AcRunner::MonthReport AcRunner::run_month(double tc, double ts_nohint,
     for (const std::string& host : nohint.hosts) nohint_hosts.insert(host);
 
     const core::BpRunReport sochints =
-        pipeline_.run_bp_sochints(analysis, seeds, ts_sochints);
+        pipeline.run_bp_sochints(analysis, seeds, ts_sochints);
     for (const core::DetectedDomain& dom : sochints.domains) {
       // Seed IOC domains are inputs, not detections (§VI-D).
       if (!seed_set.contains(dom.name)) sochints_seen.insert(dom.name);

@@ -2,11 +2,15 @@
 // trains the two regression models on two weeks of labeled data, then walks
 // February in daily operation mode. Benchmarks receive each day's analysis
 // through a callback so they can sweep thresholds without re-simulating.
+//
+// Ingestion goes through the streaming facade (api::Detector over
+// api::SimSource), so the runner exercises the same chunked path a
+// production deployment uses.
 #pragma once
 
 #include <functional>
 
-#include "core/pipeline.h"
+#include "api/detector.h"
 #include "eval/metrics.h"
 #include "sim/ac.h"
 
@@ -33,7 +37,8 @@ class AcRunner {
       std::function<void(util::Day day, const core::DayAnalysis& analysis)>;
   void run_operation(const DayCallback& callback);
 
-  core::Pipeline& pipeline() { return pipeline_; }
+  api::Detector& detector() { return detector_; }
+  core::Pipeline& pipeline() { return detector_.pipeline(); }
   sim::AcScenario& scenario() { return scenario_; }
 
   /// Aggregate of one full operation month at the config thresholds:
@@ -55,7 +60,7 @@ class AcRunner {
  private:
   sim::AcScenario& scenario_;
   AcRunnerConfig config_;
-  core::Pipeline pipeline_;
+  api::Detector detector_;
   bool trained_ = false;
 };
 

@@ -2,45 +2,45 @@
 
 #include <algorithm>
 
+#include "api/sources.h"
+
 namespace eid::eval {
+namespace {
+
+core::PipelineConfig pipeline_config(const LanlRunnerConfig& config) {
+  core::PipelineConfig out;
+  out.popularity_threshold = config.popularity_threshold;
+  out.periodicity = config.periodicity;
+  return out;
+}
+
+}  // namespace
 
 LanlRunner::LanlRunner(sim::LanlScenario& scenario, LanlRunnerConfig config)
-    : scenario_(scenario), config_(config) {}
+    : scenario_(scenario),
+      config_(config),
+      detector_(pipeline_config(config), scenario.simulator().whois()) {}
 
 void LanlRunner::bootstrap() {
-  for (util::Day day = scenario_.bootstrap_begin();
-       day <= scenario_.bootstrap_end(); ++day) {
-    update_history_events(scenario_.simulator().reduced_day(day));
-  }
+  api::SimSource source(scenario_.simulator(), scenario_.bootstrap_begin(),
+                        scenario_.bootstrap_end());
+  detector_.ingest(source);
 }
 
 void LanlRunner::update_history_events(
     const std::vector<logs::ConnEvent>& events) {
-  std::unordered_set<std::string> domains;
-  for (const auto& event : events) domains.insert(event.domain);
-  history_.update({domains.begin(), domains.end()});
+  detector_.pipeline().update_histories(events);
 }
 
 core::DayAnalysis LanlRunner::analyze_day(util::Day day) {
-  return analyze_events(scenario_.simulator().reduced_day(day), day);
+  api::SimSource source(scenario_.simulator(), day, day);
+  return detector_.analyze_stream(source, day);
 }
 
 core::DayAnalysis LanlRunner::analyze_events(
     const std::vector<logs::ConnEvent>& events, util::Day day) const {
-  core::DayAnalysis analysis;
-  analysis.day = day;
-  analysis.event_count = events.size();
-  for (const auto& event : events) analysis.graph.add_event(event);
-  analysis.graph.finalize();
-  const profile::RareExtraction rare = profile::extract_rare_destinations(
-      analysis.graph, history_, config_.popularity_threshold);
-  analysis.rare.insert(rare.rare_domains.begin(), rare.rare_domains.end());
-  analysis.new_domains = rare.new_domains;
-  analysis.total_domains = rare.total_domains;
-  const timing::PeriodicityDetector detector(config_.periodicity);
-  analysis.automation = features::AutomationAnalysis::analyze(
-      analysis.graph, rare.rare_domains, detector);
-  return analysis;
+  api::VectorSource source(day, &events);
+  return detector_.analyze_stream(source, day);
 }
 
 LanlDayResult LanlRunner::run_case(const sim::LanlCase& challenge,
@@ -51,7 +51,8 @@ LanlDayResult LanlRunner::run_case(const sim::LanlCase& challenge,
   result.automated_pairs = analysis.automation.pair_count();
 
   const core::DayState state{analysis.graph,  analysis.rare,
-                             analysis.automation, ua_history_,
+                             analysis.automation,
+                             detector_.pipeline().ua_history(),
                              scenario_.simulator().whois(), analysis.day,
                              features::WhoisDefaults{}};
   const core::LanlScorer scorer(state, config_.scorer);
@@ -94,7 +95,8 @@ LanlDayResult LanlRunner::run_case(const sim::LanlCase& challenge,
 }
 
 void LanlRunner::finish_day(util::Day day) {
-  update_history_events(scenario_.simulator().reduced_day(day));
+  api::SimSource source(scenario_.simulator(), day, day);
+  detector_.ingest(source);
 }
 
 LanlChallengeResult LanlRunner::run_challenge() {

@@ -7,8 +7,8 @@
 
 #include <unordered_set>
 
+#include "api/detector.h"
 #include "core/belief_propagation.h"
-#include "core/pipeline.h"
 #include "core/scorers.h"
 #include "eval/metrics.h"
 #include "profile/domain_history.h"
@@ -72,13 +72,16 @@ class LanlRunner {
   /// Bootstrap + walk all of March + score every case.
   LanlChallengeResult run_challenge();
 
-  const profile::DomainHistory& history() const { return history_; }
+  const profile::DomainHistory& history() const {
+    return detector_.pipeline().domain_history();
+  }
 
  private:
   sim::LanlScenario& scenario_;
   LanlRunnerConfig config_;
-  profile::DomainHistory history_;
-  profile::UaHistory ua_history_;  ///< unused features; empty is fine
+  /// Streaming facade; only the history/analysis layers are exercised (the
+  /// LANL challenge scores with LanlScorer, not the trained regressions).
+  api::Detector detector_;
 };
 
 }  // namespace eid::eval

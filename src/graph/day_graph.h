@@ -73,6 +73,16 @@ class DayGraph {
   /// Distinct destination IPs observed for the domain.
   std::span<const util::Ipv4> domain_ips(DomainId domain) const;
 
+  /// Visit every (host, domain, edge) triple: fn(HostId, DomainId,
+  /// const EdgeData&). Iteration order is unspecified (hash order).
+  template <typename Fn>
+  void for_each_edge(Fn&& fn) const {
+    for (const auto& [key, edge] : edges_) {
+      fn(static_cast<HostId>(key >> 32), static_cast<DomainId>(key & 0xffffffffu),
+         edge);
+    }
+  }
+
  private:
   static std::uint64_t edge_key(HostId h, DomainId d) {
     return (static_cast<std::uint64_t>(h) << 32) | d;

@@ -1,0 +1,289 @@
+// Unit tests for every EventSource adapter: chunk boundaries, day tags,
+// reset semantics, malformed-line accounting (TsvFileSource) and parity
+// with the batch reducers each adapter wraps.
+#include "api/sources.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "api/event_source.h"
+#include "logs/files.h"
+#include "logs/io.h"
+#include "test_helpers.h"
+
+namespace eid::api {
+namespace {
+
+bool same_event(const logs::ConnEvent& a, const logs::ConnEvent& b) {
+  return a.ts == b.ts && a.host == b.host && a.domain == b.domain &&
+         a.dest_ip == b.dest_ip && a.user_agent == b.user_agent &&
+         a.has_referer == b.has_referer &&
+         a.has_http_context == b.has_http_context;
+}
+
+std::vector<logs::ConnEvent> drain(EventSource& source,
+                                   std::vector<std::size_t>* chunk_sizes = nullptr,
+                                   std::vector<util::Day>* days = nullptr) {
+  std::vector<logs::ConnEvent> out;
+  while (auto chunk = source.next_chunk()) {
+    if (chunk_sizes != nullptr) chunk_sizes->push_back(chunk->events.size());
+    if (days != nullptr) days->push_back(chunk->day);
+    out.insert(out.end(), chunk->events.begin(), chunk->events.end());
+  }
+  return out;
+}
+
+// ---- VectorSource ----
+
+TEST(VectorSourceTest, ChunksCoverEveryEventInOrder) {
+  test::DayBuilder builder;
+  for (int i = 0; i < 10; ++i) {
+    builder.visit("h" + std::to_string(i % 3), "d" + std::to_string(i) + ".com",
+                  1000 + i);
+  }
+  const auto& events = builder.events();
+
+  for (const std::size_t chunk_size : {1u, 3u, 10u, 4096u}) {
+    VectorSource source(42, &events, chunk_size);
+    std::vector<std::size_t> sizes;
+    std::vector<util::Day> days;
+    const auto streamed = drain(source, &sizes, &days);
+    ASSERT_EQ(streamed.size(), events.size()) << chunk_size;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      EXPECT_TRUE(same_event(events[i], streamed[i])) << i;
+    }
+    for (const std::size_t size : sizes) EXPECT_LE(size, chunk_size);
+    for (const util::Day day : days) EXPECT_EQ(day, 42);
+    // Exhausted until reset.
+    EXPECT_FALSE(source.next_chunk().has_value());
+    EXPECT_TRUE(source.reset());
+    EXPECT_EQ(drain(source).size(), events.size());
+  }
+}
+
+TEST(VectorSourceTest, OwningFormKeepsEventsAlive) {
+  test::DayBuilder builder;
+  builder.visit("h0", "a.com", 1).visit("h1", "b.com", 2);
+  VectorSource source(7, builder.events(), 1);  // copy moved into the source
+  std::vector<std::size_t> sizes;
+  EXPECT_EQ(drain(source, &sizes).size(), 2u);
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{1, 1}));
+}
+
+TEST(VectorSourceTest, EmptyVectorYieldsOneDayBoundaryMarker) {
+  const std::vector<logs::ConnEvent> empty;
+  VectorSource source(1, &empty);
+  const auto marker = source.next_chunk();
+  ASSERT_TRUE(marker.has_value());
+  EXPECT_EQ(marker->day, 1);
+  EXPECT_TRUE(marker->events.empty());
+  EXPECT_FALSE(source.next_chunk().has_value());
+  EXPECT_TRUE(source.reset());
+  EXPECT_TRUE(source.next_chunk().has_value());
+}
+
+// ---- TsvFileSource ----
+
+class TsvFileSourceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("eid-api-sources-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(TsvFileSourceTest, ProxyFileStreamsReducedEventsAndCountsMalformed) {
+  std::vector<logs::ProxyRecord> records;
+  for (int i = 0; i < 5; ++i) {
+    logs::ProxyRecord rec;
+    rec.ts = 1000 + i;
+    rec.collector = "c0";
+    rec.src_ip = "10.0.0." + std::to_string(i + 1);
+    rec.hostname = "host" + std::to_string(i);
+    rec.domain = "site" + std::to_string(i) + ".example.com";
+    rec.user_agent = "UA";
+    records.push_back(rec);
+  }
+  const auto path = dir_ / "proxy.tsv";
+  ASSERT_TRUE(logs::write_proxy_file(path, records));
+  {
+    std::ofstream corrupt(path, std::ios::app);
+    corrupt << "garbage line without tabs\n";
+    corrupt << "123\tonly\tthree\n";
+  }
+
+  const logs::DhcpTable leases;
+  const logs::ProxyReductionConfig reduction;
+  const auto batch = logs::reduce_proxy(records, leases, reduction);
+  ASSERT_FALSE(batch.empty());
+
+  TsvFileSource source(path, 99, leases, reduction, 2);
+  std::vector<util::Day> days;
+  const auto streamed = drain(source, nullptr, &days);
+
+  EXPECT_TRUE(source.stats().opened);
+  EXPECT_EQ(source.stats().parsed, records.size());
+  EXPECT_EQ(source.stats().malformed, 2u);
+  EXPECT_EQ(source.stats().events, streamed.size());
+  ASSERT_EQ(streamed.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_TRUE(same_event(batch[i], streamed[i])) << i;
+  }
+  for (const util::Day day : days) EXPECT_EQ(day, 99);
+
+  // reset() rewinds and clears the accounting.
+  EXPECT_TRUE(source.reset());
+  EXPECT_EQ(source.stats().malformed, 0u);
+  EXPECT_EQ(drain(source).size(), batch.size());
+  EXPECT_EQ(source.stats().malformed, 2u);
+}
+
+TEST_F(TsvFileSourceTest, DnsFileStreamsReducedEvents) {
+  std::vector<logs::DnsRecord> records;
+  for (int i = 0; i < 4; ++i) {
+    logs::DnsRecord rec;
+    rec.ts = 2000 + i;
+    rec.src = "h" + std::to_string(i);
+    rec.domain = "q" + std::to_string(i) + ".example.net";
+    rec.type = logs::DnsType::A;
+    records.push_back(rec);
+  }
+  records[3].type = logs::DnsType::TXT;  // dropped by reduction, not malformed
+  const auto path = dir_ / "dns.tsv";
+  ASSERT_TRUE(logs::write_dns_file(path, records));
+
+  logs::DnsReductionConfig reduction;
+  const auto batch = logs::reduce_dns(records, reduction);
+  TsvFileSource source(path, 5, reduction, 3);
+  const auto streamed = drain(source);
+  EXPECT_EQ(source.stats().parsed, records.size());
+  EXPECT_EQ(source.stats().malformed, 0u);
+  ASSERT_EQ(streamed.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_TRUE(same_event(batch[i], streamed[i])) << i;
+  }
+}
+
+TEST_F(TsvFileSourceTest, MissingFileReportsUnopened) {
+  const logs::DhcpTable leases;
+  TsvFileSource source(dir_ / "missing.tsv", 1, leases,
+                       logs::ProxyReductionConfig{});
+  EXPECT_FALSE(source.stats().opened);
+  EXPECT_FALSE(source.next_chunk().has_value());
+}
+
+// ---- SimSource ----
+
+TEST(SimSourceTest, MatchesReducedDayAcrossTheRange) {
+  sim::SimConfig config;
+  config.flavor = sim::Flavor::Proxy;
+  config.seed = 5;
+  config.day0 = util::make_day(2014, 1, 1);
+  config.n_hosts = 30;
+  config.n_popular = 10;
+  config.tail_per_day = 5;
+  config.automated_tail_per_day = 1;
+  config.grayware_per_day = 1;
+
+  const util::Day first = config.day0;
+  const util::Day last = first + 2;
+
+  // Two identical simulators: one consumed through the source, one as the
+  // batch ground truth (simulators are deterministic in the seed).
+  sim::EnterpriseSimulator streamed_sim(config, {});
+  sim::EnterpriseSimulator batch_sim(config, {});
+
+  SimSource source(streamed_sim, first, last, 100);
+  std::vector<util::Day> days;
+  std::vector<logs::ConnEvent> streamed;
+  std::vector<std::size_t> day_counts;
+  {
+    std::vector<std::size_t> sizes;
+    streamed = drain(source, &sizes, &days);
+    for (const std::size_t size : sizes) EXPECT_LE(size, 100u);
+  }
+
+  std::vector<logs::ConnEvent> batch;
+  for (util::Day day = first; day <= last; ++day) {
+    const auto day_events = batch_sim.reduced_day(day);
+    day_counts.push_back(day_events.size());
+    batch.insert(batch.end(), day_events.begin(), day_events.end());
+  }
+  ASSERT_EQ(streamed.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(same_event(batch[i], streamed[i])) << i;
+  }
+
+  // Day tags must be contiguous and non-decreasing across the range.
+  for (std::size_t i = 1; i < days.size(); ++i) {
+    EXPECT_GE(days[i], days[i - 1]);
+  }
+  EXPECT_EQ(days.front(), first);
+  EXPECT_EQ(days.back(), last);
+
+  // Forward-only: no rewind.
+  EXPECT_FALSE(source.reset());
+}
+
+// ---- NetflowSource ----
+
+TEST(NetflowSourceTest, MatchesBatchFlowReductionAndAggregatesStats) {
+  logs::PassiveDnsCache pdns;
+  const auto ip = [](int last) {
+    return util::Ipv4::from_octets(203, 0, 113, static_cast<std::uint8_t>(last));
+  };
+  pdns.observe("alpha.example.com", ip(10), 100);
+  pdns.observe("beta.example.com", ip(20), 100);
+
+  std::vector<logs::FlowRecord> flows;
+  for (int i = 0; i < 6; ++i) {
+    logs::FlowRecord flow;
+    flow.ts = 200 + i;
+    flow.src = "h" + std::to_string(i % 2);
+    flow.dst_ip = i % 2 == 0 ? ip(10) : ip(20);
+    flow.dst_port = 443;
+    flows.push_back(flow);
+  }
+  flows[5].dst_port = 25;  // filtered: not a web port
+  logs::FlowRecord orphan;  // unattributed: IP never seen in passive DNS
+  orphan.ts = 300;
+  orphan.src = "h9";
+  orphan.dst_ip = ip(99);
+  orphan.dst_port = 80;
+  flows.push_back(orphan);
+
+  const logs::FlowReductionConfig reduction;
+  logs::FlowReductionStats batch_stats;
+  const auto batch = logs::reduce_flows(flows, pdns, reduction, &batch_stats);
+  ASSERT_FALSE(batch.empty());
+
+  NetflowSource source(17, flows, pdns, reduction, 2);
+  std::vector<util::Day> days;
+  const auto streamed = drain(source, nullptr, &days);
+
+  ASSERT_EQ(streamed.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_TRUE(same_event(batch[i], streamed[i])) << i;
+  }
+  for (const util::Day day : days) EXPECT_EQ(day, 17);
+  EXPECT_EQ(source.stats().total_flows, batch_stats.total_flows);
+  EXPECT_EQ(source.stats().port_filtered, batch_stats.port_filtered);
+  EXPECT_EQ(source.stats().unattributed, batch_stats.unattributed);
+  EXPECT_EQ(source.stats().kept, batch_stats.kept);
+
+  EXPECT_TRUE(source.reset());
+  EXPECT_EQ(source.stats().kept, 0u);
+  EXPECT_EQ(drain(source).size(), batch.size());
+}
+
+}  // namespace
+}  // namespace eid::api
