@@ -3,9 +3,17 @@
 // proxy reduction, graph construction, periodicity testing, rare
 // extraction, belief propagation, and the streaming api::Detector facade
 // (chunk-size sweep: throughput must be flat in the chunking).
+//
+// Pass --json[=path] to also record the results as the "micro" section of
+// BENCH_perf.json at the repo root, so perf is tracked across PRs
+// (bench_throughput_day writes the "throughput" section of the same file).
 #include <benchmark/benchmark.h>
 
+#include <iomanip>
+#include <sstream>
+
 #include "api/detector.h"
+#include "bench_common.h"
 #include "api/sources.h"
 #include "core/belief_propagation.h"
 #include "core/scorers.h"
@@ -197,6 +205,99 @@ void BM_BeliefPropagation(benchmark::State& state) {
 }
 BENCHMARK(BM_BeliefPropagation)->Arg(4)->Arg(32);
 
+/// Console output as usual, plus an in-memory copy of every finished run
+/// for the machine-readable BENCH_perf.json record.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Entry {
+    std::string name;
+    double real_time_ns = 0.0;      ///< adjusted real time per iteration
+    double items_per_second = 0.0;  ///< 0 when the bench reports no items
+  };
+
+  // google-benchmark < 1.8 exposes Run::error_occurred; 1.8+ replaced it
+  // with the Skipped enum. Detect whichever member this libbenchmark has.
+  template <typename R>
+  static bool run_failed(const R& run) {
+    if constexpr (requires { run.error_occurred; }) {
+      return run.error_occurred;
+    } else if constexpr (requires { run.skipped; }) {
+      return static_cast<int>(run.skipped) != 0;  // 0 == NotSkipped
+    } else {
+      return false;
+    }
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run_failed(run)) continue;
+      // One row per benchmark: drop _mean/_median aggregates and repeat
+      // repetitions so cross-PR diffs stay unambiguous.
+      if (run.run_type != Run::RT_Iteration) continue;
+      if constexpr (requires { run.repetition_index; }) {
+        if (run.repetition_index > 0) continue;
+      }
+      Entry entry;
+      entry.name = run.benchmark_name();
+      entry.real_time_ns = run.GetAdjustedRealTime();
+      if (const auto it = run.counters.find("items_per_second");
+          it != run.counters.end()) {
+        entry.items_per_second = it->second;
+      }
+      entries.push_back(std::move(entry));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<Entry> entries;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path =
+      eid::bench::take_json_flag(argc, argv, "BENCH_perf.json");
+  // A filtered run covers only a subset of benchmarks; writing it would
+  // replace the whole tracked micro section and wipe the other
+  // benchmarks' history, so --json only records full runs.
+  bool filtered = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_filter", 0) == 0) {
+      filtered = true;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (json_path.empty()) return 0;
+  if (filtered || reporter.entries.empty()) {
+    std::fprintf(stderr,
+                 "not writing %s: %s would clobber the full micro section — "
+                 "rerun without --benchmark_filter to record\n",
+                 json_path.c_str(),
+                 reporter.entries.empty() ? "an empty run" : "a filtered run");
+    return 0;
+  }
+
+  std::ostringstream body;
+  // Full double resolution: the file exists to catch sub-percent drift
+  // across PRs, which 6-digit default formatting would round away.
+  body << std::setprecision(17);
+  body << "{\n    \"benchmarks\": [";
+  for (std::size_t i = 0; i < reporter.entries.size(); ++i) {
+    const auto& entry = reporter.entries[i];
+    body << (i == 0 ? "\n" : ",\n");
+    body << "      {\"name\": \"" << entry.name << "\", \"real_time_ns\": "
+         << entry.real_time_ns << ", \"items_per_second\": "
+         << entry.items_per_second << "}";
+  }
+  body << "\n    ]\n  }";
+  if (!eid::bench::write_json_section(json_path, "micro", body.str())) {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote micro section -> %s\n", json_path.c_str());
+  return 0;
+}

@@ -1,0 +1,259 @@
+// Multi-day throughput benchmark for the sharded parallel day-analysis
+// engine: replays a simulated enterprise proxy workload through the
+// incremental day path (DayAccumulator -> finish_day -> report_day) at a
+// sweep of (analysis threads, ingest shards) configurations, and reports
+// events/sec with a per-stage breakdown (ingest, CSR finalize, rare
+// extraction, automation scan, scoring + BP). Results are bit-identical
+// across configurations (the determinism tests enforce it), so the sweep
+// measures pure performance.
+//
+//   bench_throughput_day [--days N] [--configs t:s,t:s,...] [--json[=path]]
+//
+// --json records the "throughput" section of BENCH_perf.json at the repo
+// root (bench_perf_pipeline writes the "micro" section of the same file),
+// including the day-analysis speedup of the last config vs the first —
+// the cross-PR perf trajectory. Defaults: 3 days, configs 1:1,2:2,4:4,8:8.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/pipeline.h"
+#include "core/report_json.h"
+#include "sim/enterprise.h"
+
+namespace {
+
+using namespace eid;
+using clock_type = std::chrono::steady_clock;
+
+constexpr std::size_t kChunkEvents = 4096;
+
+double seconds_since(clock_type::time_point start) {
+  return std::chrono::duration<double>(clock_type::now() - start).count();
+}
+
+struct StageTotals {
+  double ingest = 0.0;
+  double finalize = 0.0;
+  double rare = 0.0;
+  double automation = 0.0;
+  double score_bp = 0.0;
+
+  /// The day-analysis path (everything before thresholding/BP).
+  double analysis() const { return ingest + finalize + rare + automation; }
+  double total() const { return analysis() + score_bp; }
+};
+
+struct ConfigResult {
+  core::Parallelism parallelism;
+  StageTotals stages;
+  std::size_t events = 0;
+  std::size_t detections = 0;   ///< headline count for the console line
+  std::string report_digest;    ///< all DayReport JSON, concatenated —
+                                ///< must be byte-identical across configs
+};
+
+sim::SimConfig workload_config() {
+  // Analysis-heavy enterprise day: a large browse tail (rare-destination
+  // extraction) and many periodic services (long per-edge time series for
+  // the automation scan) — the stages the thread knob parallelizes.
+  sim::SimConfig config;
+  config.flavor = sim::Flavor::Proxy;
+  config.seed = 29;
+  config.day0 = util::make_day(2014, 1, 1);
+  config.n_hosts = 800;
+  config.n_popular = 400;
+  config.tail_per_day = 500;
+  config.automated_tail_per_day = 80;
+  config.grayware_per_day = 8;
+  return config;
+}
+
+ConfigResult run_config(const core::Parallelism& parallelism,
+                        const features::WhoisSource& whois,
+                        const std::vector<logs::ConnEvent>& profile_events,
+                        const std::vector<std::vector<logs::ConnEvent>>& days,
+                        util::Day day0) {
+  core::PipelineConfig config;
+  config.parallelism = parallelism;
+  core::Pipeline pipeline(config, whois);
+  pipeline.profile_day(profile_events);
+
+  ConfigResult result;
+  result.parallelism = parallelism;
+  for (std::size_t d = 0; d < days.size(); ++d) {
+    const util::Day day = day0 + 1 + static_cast<util::Day>(d);
+    const auto& events = days[d];
+
+    auto start = clock_type::now();
+    core::DayAccumulator accumulator = pipeline.begin_day(day);
+    for (std::size_t pos = 0; pos < events.size(); pos += kChunkEvents) {
+      const std::size_t count = std::min(kChunkEvents, events.size() - pos);
+      accumulator.add_chunk({events.data() + pos, count});
+    }
+    result.stages.ingest += seconds_since(start);
+
+    const core::DayAnalysis analysis =
+        pipeline.finish_day(std::move(accumulator));
+    result.stages.finalize += analysis.stage_seconds.finalize;
+    result.stages.rare += analysis.stage_seconds.rare;
+    result.stages.automation += analysis.stage_seconds.automation;
+
+    start = clock_type::now();
+    const core::DayReport report = pipeline.report_day(analysis, {});
+    result.stages.score_bp += seconds_since(start);
+    result.detections += report.automated_scores.size() +
+                         report.nohint.domains.size();
+    result.report_digest += core::day_report_to_json(report);
+
+    pipeline.update_histories(analysis.graph);
+    result.events += events.size();
+  }
+  return result;
+}
+
+std::vector<core::Parallelism> parse_configs(const std::string& spec) {
+  std::vector<core::Parallelism> configs;
+  std::stringstream in(spec);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    const auto colon = item.find(':');
+    core::Parallelism p;
+    p.threads = static_cast<std::size_t>(std::atoi(item.c_str()));
+    p.shards = colon == std::string::npos
+                   ? p.threads
+                   : static_cast<std::size_t>(std::atoi(item.c_str() + colon + 1));
+    if (p.threads == 0) p.threads = 1;
+    if (p.shards == 0) p.shards = 1;
+    configs.push_back(p);
+  }
+  return configs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path =
+      eid::bench::take_json_flag(argc, argv, "BENCH_perf.json");
+  std::size_t n_days = 3;
+  std::string config_spec = "1:1,2:2,4:4,8:8";
+  bool non_default_run = false;  // --json only records the default sweep
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--days") == 0 && i + 1 < argc) {
+      const int days = std::atoi(argv[++i]);
+      n_days = days > 0 ? static_cast<std::size_t>(days) : 1;
+      non_default_run = true;
+    } else if (std::strcmp(argv[i], "--configs") == 0 && i + 1 < argc) {
+      config_spec = argv[++i];
+      non_default_run = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--days N] [--configs t:s,...] [--json[=path]]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+  if (n_days == 0) n_days = 1;
+  const std::vector<eid::core::Parallelism> configs = parse_configs(config_spec);
+  if (configs.empty()) {
+    std::fprintf(stderr, "no valid --configs\n");
+    return 1;
+  }
+
+  eid::bench::print_header("BENCH_throughput",
+                           "sharded parallel day-analysis engine");
+  const sim::SimConfig world = workload_config();
+  sim::EnterpriseSimulator simulator(world, {});
+  const std::vector<logs::ConnEvent> profile_events =
+      simulator.reduced_day(world.day0);
+  std::vector<std::vector<logs::ConnEvent>> days;
+  std::size_t total_events = 0;
+  for (std::size_t d = 0; d < n_days; ++d) {
+    days.push_back(
+        simulator.reduced_day(world.day0 + 1 + static_cast<util::Day>(d)));
+    total_events += days.back().size();
+  }
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("workload: %zu hosts, %zu day(s), %zu events  (%u cpu core(s) "
+              "— speedup is bounded by this)\n",
+              static_cast<std::size_t>(world.n_hosts), n_days, total_events,
+              cores);
+
+  std::vector<ConfigResult> results;
+  for (const auto& parallelism : configs) {
+    results.push_back(run_config(parallelism, simulator.whois(),
+                                 profile_events, days, world.day0));
+    const ConfigResult& r = results.back();
+    std::printf(
+        "threads=%zu shards=%zu  %10.0f events/s  analysis=%.3fs "
+        "(ingest=%.3f finalize=%.3f rare=%.3f automation=%.3f) "
+        "score+bp=%.3fs  detections=%zu\n",
+        r.parallelism.threads, r.parallelism.shards,
+        static_cast<double>(r.events) / r.stages.total(), r.stages.analysis(),
+        r.stages.ingest, r.stages.finalize, r.stages.rare,
+        r.stages.automation, r.stages.score_bp, r.detections);
+  }
+  for (const ConfigResult& r : results) {
+    // Byte-compare the serialized reports, not just counts: a bug that
+    // swaps WHICH domains are detected must fail here too.
+    if (r.report_digest != results.front().report_digest) {
+      std::fprintf(stderr,
+                   "FATAL: DayReports differ across configs (determinism "
+                   "violation)\n");
+      return 1;
+    }
+  }
+  const double speedup =
+      results.back().stages.analysis() > 0.0
+          ? results.front().stages.analysis() / results.back().stages.analysis()
+          : 0.0;
+  std::printf("day-analysis speedup (threads=%zu vs threads=%zu): %.2fx\n",
+              results.back().parallelism.threads,
+              results.front().parallelism.threads, speedup);
+
+  if (json_path.empty()) return 0;
+  if (non_default_run) {
+    // Same rule as bench_perf_pipeline's filter guard: the tracked file
+    // compares across PRs, so only the canonical workload/sweep is
+    // recorded — a smoke run must not overwrite the trajectory.
+    std::fprintf(stderr,
+                 "not writing %s: non-default --days/--configs would make the "
+                 "recorded trajectory incomparable — rerun without them\n",
+                 json_path.c_str());
+    return 0;
+  }
+  std::ostringstream body;
+  body << std::setprecision(17);  // keep sub-percent drift visible across PRs
+  body << "{\n    \"workload\": {\"hosts\": " << world.n_hosts
+       << ", \"days\": " << n_days << ", \"events\": " << total_events
+       << ", \"cpu_cores\": " << cores << "},\n    \"configs\": [";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    body << (i == 0 ? "\n" : ",\n");
+    body << "      {\"threads\": " << r.parallelism.threads
+         << ", \"shards\": " << r.parallelism.shards
+         << ", \"events_per_second\": "
+         << static_cast<double>(r.events) / r.stages.total()
+         << ", \"analysis_seconds\": " << r.stages.analysis()
+         << ", \"stages\": {\"ingest\": " << r.stages.ingest
+         << ", \"finalize\": " << r.stages.finalize
+         << ", \"rare\": " << r.stages.rare
+         << ", \"automation\": " << r.stages.automation
+         << ", \"score_bp\": " << r.stages.score_bp << "}}";
+  }
+  body << "\n    ],\n    \"analysis_speedup_last_vs_first\": " << speedup
+       << "\n  }";
+  if (!eid::bench::write_json_section(json_path, "throughput", body.str())) {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote throughput section -> %s\n", json_path.c_str());
+  return 0;
+}

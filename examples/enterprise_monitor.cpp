@@ -3,7 +3,10 @@
 // month — potential C&C domains, the no-hint community expansion, and the
 // IOC-seeded expansion — ordered by suspiciousness for analyst review.
 //
-// Usage: enterprise_monitor [days=7] [tc=0.4] [ts=0.33]
+// Usage: enterprise_monitor [days=7] [tc=0.4] [ts=0.33] [threads=1] [shards=1]
+//
+// threads/shards drive the sharded parallel day-analysis engine; reports
+// are bit-identical for any values, so they are safe to size to the host.
 #include <cstdio>
 #include <cstdlib>
 
@@ -15,6 +18,13 @@ int main(int argc, char** argv) {
   const int days = argc > 1 ? std::atoi(argv[1]) : 7;
   const double tc = argc > 2 ? std::atof(argv[2]) : 0.4;
   const double ts = argc > 3 ? std::atof(argv[3]) : 0.33;
+  core::Parallelism parallelism;
+  if (argc > 4 && std::atoi(argv[4]) > 0) {
+    parallelism.threads = static_cast<std::size_t>(std::atoi(argv[4]));
+  }
+  if (argc > 5 && std::atoi(argv[5]) > 0) {
+    parallelism.shards = static_cast<std::size_t>(std::atoi(argv[5]));
+  }
 
   sim::AcConfig world;
   world.n_hosts = 400;
@@ -26,6 +36,9 @@ int main(int argc, char** argv) {
   sim::AcScenario scenario(world);
 
   eval::AcRunner runner(scenario);
+  runner.pipeline().set_parallelism(parallelism);
+  std::printf("day-analysis engine: %zu thread(s), %zu ingest shard(s)\n",
+              parallelism.threads, parallelism.shards);
   std::printf("training on January (profiling + regression)...\n");
   const core::TrainingReport training = runner.train();
   std::printf("C&C model: %zu rows, %zu reported, R^2=%.2f\n",

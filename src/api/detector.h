@@ -61,6 +61,13 @@ class Detector {
     pipeline_.set_top_sites(top_sites);
   }
 
+  /// Retune day-path parallelism (worker threads + ingest shards). Pure
+  /// performance knobs: every report stays bit-identical for any values,
+  /// so deployments size this to the hardware with no revalidation.
+  void set_parallelism(core::Parallelism parallelism) {
+    pipeline_.set_parallelism(parallelism);
+  }
+
   // ---- Operation (Fig. 1, right) ----
 
   /// Build one day's pre-threshold analysis incrementally from the stream.

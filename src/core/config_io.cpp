@@ -82,7 +82,9 @@ ConfigParseResult parse_pipeline_config(const std::string& text) {
     } else if (key == "bp_max_iterations") {
       parse_count(value, cfg.bp_max_iterations) || (bad_value(), false);
     } else if (key == "analysis_threads") {
-      parse_count(value, cfg.analysis_threads) || (bad_value(), false);
+      parse_count(value, cfg.parallelism.threads) || (bad_value(), false);
+    } else if (key == "shard_count") {
+      parse_count(value, cfg.parallelism.shards) || (bad_value(), false);
     } else {
       result.unknown_keys.push_back(key);
     }
@@ -101,7 +103,8 @@ std::string format_pipeline_config(const PipelineConfig& config) {
   out << "cc_threshold = " << config.cc_threshold << "\n";
   out << "sim_threshold = " << config.sim_threshold << "\n";
   out << "bp_max_iterations = " << config.bp_max_iterations << "\n";
-  out << "analysis_threads = " << config.analysis_threads << "\n";
+  out << "analysis_threads = " << config.parallelism.threads << "\n";
+  out << "shard_count = " << config.parallelism.shards << "\n";
   return out.str();
 }
 

@@ -1,6 +1,7 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace eid::core {
 namespace {
@@ -58,6 +59,8 @@ void Pipeline::update_histories(const std::vector<logs::ConnEvent>& events) {
 
 void Pipeline::update_histories(const graph::DayGraph& graph) {
   profile::update_history(domain_history_, graph);
+  // for_each_edge visits in (host, domain) order; the histories only take
+  // set unions, so they never depended on the old hash iteration order.
   graph.for_each_edge([this, &graph](graph::HostId host, graph::DomainId,
                                      const graph::EdgeData& edge) {
     for (const graph::UaId ua : edge.user_agents) {
@@ -74,13 +77,23 @@ DayAnalysis Pipeline::analyze_day(const std::vector<logs::ConnEvent>& events,
 }
 
 DayAnalysis Pipeline::finish_day(DayAccumulator&& accumulator) const {
+  using clock = std::chrono::steady_clock;
+  const auto seconds_since = [](clock::time_point start) {
+    return std::chrono::duration<double>(clock::now() - start).count();
+  };
+  const std::size_t threads = config_.parallelism.threads;
+
   DayAnalysis analysis;
   analysis.day = accumulator.day_;
   analysis.event_count = accumulator.events_;
   analysis.graph = std::move(accumulator.graph_);
-  analysis.graph.finalize();
+  auto stage_start = clock::now();
+  analysis.graph.finalize(threads);
+  analysis.stage_seconds.finalize = seconds_since(stage_start);
+
+  stage_start = clock::now();
   profile::RareExtraction rare = profile::extract_rare_destinations(
-      analysis.graph, domain_history_, config_.popularity_threshold);
+      analysis.graph, domain_history_, config_.popularity_threshold, threads);
   if (top_sites_ != nullptr) {
     rare.rare_domains =
         profile::filter_top_sites(analysis.graph, rare.rare_domains, *top_sites_);
@@ -88,9 +101,13 @@ DayAnalysis Pipeline::finish_day(DayAccumulator&& accumulator) const {
   analysis.rare.insert(rare.rare_domains.begin(), rare.rare_domains.end());
   analysis.new_domains = rare.new_domains;
   analysis.total_domains = rare.total_domains;
+  analysis.stage_seconds.rare = seconds_since(stage_start);
+
+  stage_start = clock::now();
   const timing::PeriodicityDetector detector(config_.periodicity);
   analysis.automation = features::AutomationAnalysis::analyze(
-      analysis.graph, rare.rare_domains, detector, config_.analysis_threads);
+      analysis.graph, rare.rare_domains, detector, threads);
+  analysis.stage_seconds.automation = seconds_since(stage_start);
   if (whois_samples_ > 0) {
     analysis.whois_defaults.age_days =
         whois_age_sum_ / static_cast<double>(whois_samples_);

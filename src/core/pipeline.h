@@ -40,6 +40,20 @@
 
 namespace eid::core {
 
+/// Parallel-execution knobs for the day path. Pure performance knobs: the
+/// analysis and every report are bit-identical for any values (the
+/// contract tests/determinism_test.cpp and api_equivalence_test.cpp
+/// enforce), so they can be tuned per deployment without revalidation.
+struct Parallelism {
+  /// Worker threads for the day-analysis stages: edge-timestamp sorting
+  /// in DayGraph::finalize, rare-domain extraction, and the per-edge
+  /// automation scan (the hot loop at enterprise volume, §II-C).
+  std::size_t threads = 1;
+  /// Host-hash ingest shards inside DayAccumulator (independent builders,
+  /// no locks; merged deterministically in finish_day).
+  std::size_t shards = 1;
+};
+
 struct PipelineConfig {
   std::size_t popularity_threshold = 10;  ///< rare-destination host cap
   std::size_t ua_rare_threshold = 10;     ///< rare-UA host cap
@@ -47,9 +61,15 @@ struct PipelineConfig {
   double cc_threshold = 0.4;   ///< Tc (Fig. 6a sweeps 0.40..0.48)
   double sim_threshold = 0.33; ///< Ts (Fig. 6b sweeps 0.33..0.85)
   std::size_t bp_max_iterations = 10;
-  /// Worker threads for the per-edge automation scan (1 = sequential;
-  /// results are identical for any value).
-  std::size_t analysis_threads = 1;
+  Parallelism parallelism{};   ///< day-path threads + ingest shards
+};
+
+/// Wall-clock seconds per finish_day stage — perf diagnostics for the
+/// throughput bench; not part of the result contract.
+struct DayStageSeconds {
+  double finalize = 0.0;    ///< shard merge + CSR build + timestamp sort
+  double rare = 0.0;        ///< rare-destination extraction
+  double automation = 0.0;  ///< per-edge periodicity scan
 };
 
 /// Everything computed about one day before any thresholding.
@@ -62,6 +82,7 @@ struct DayAnalysis {
   std::size_t event_count = 0;
   std::size_t new_domains = 0;    ///< new regardless of popularity
   std::size_t total_domains = 0;
+  DayStageSeconds stage_seconds{};
 };
 
 /// A detected domain with its provenance, reported by name so results
@@ -113,8 +134,10 @@ using LabelFn = std::function<bool(const std::string& domain)>;
 /// Incremental builder for one day's analysis. Obtain from
 /// Pipeline::begin_day(), feed events in any number of chunks, then hand
 /// back to Pipeline::finish_day(). Only the day graph grows while chunks
-/// arrive, so the result is identical for any chunking of the same event
-/// sequence — finalize/rare-extraction/automation all run in finish_day().
+/// arrive — events route lock-free into host-hash shard builders — so the
+/// result is identical for any chunking of the same event sequence AND any
+/// shard count: finalize (deterministic shard merge), rare extraction and
+/// automation all run in finish_day().
 class DayAccumulator {
  public:
   void add(const logs::ConnEvent& event) {
@@ -122,8 +145,12 @@ class DayAccumulator {
     ++events_;
   }
 
+  /// Ingest one chunk: sharded interning/aggregation runs in parallel
+  /// across the shard builders (see DayGraph::add_events); the span only
+  /// needs to outlive this call.
   void add_chunk(std::span<const logs::ConnEvent> events) {
-    for (const auto& event : events) add(event);
+    graph_.add_events(events);
+    events_ += events.size();
   }
 
   util::Day day() const { return day_; }
@@ -131,7 +158,8 @@ class DayAccumulator {
 
  private:
   friend class Pipeline;
-  explicit DayAccumulator(util::Day day) : day_(day) {}
+  DayAccumulator(util::Day day, std::size_t shards)
+      : day_(day), graph_(shards) {}
 
   util::Day day_;
   graph::DayGraph graph_;
@@ -230,8 +258,17 @@ class Pipeline {
   DayAnalysis analyze_day(const std::vector<logs::ConnEvent>& events,
                           util::Day day) const;
 
-  /// Start incremental analysis of one day (streaming ingestion).
-  DayAccumulator begin_day(util::Day day) const { return DayAccumulator(day); }
+  /// Start incremental analysis of one day (streaming ingestion). The
+  /// accumulator shards by host hash per config().parallelism.shards.
+  DayAccumulator begin_day(util::Day day) const {
+    return DayAccumulator(day, config_.parallelism.shards);
+  }
+
+  /// Retune the parallel knobs without rebuilding the pipeline (results
+  /// are bit-identical for any values, so this is always safe).
+  void set_parallelism(Parallelism parallelism) {
+    config_.parallelism = parallelism;
+  }
 
   /// Finalize an incremental day: graph views, rare extraction, automation
   /// analysis, WHOIS defaults. Identical to analyze_day() over the

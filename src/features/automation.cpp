@@ -1,7 +1,8 @@
 #include "features/automation.h"
 
 #include <algorithm>
-#include <thread>
+
+#include "util/parallel.h"
 
 namespace eid::features {
 
@@ -42,25 +43,16 @@ AutomationAnalysis AutomationAnalysis::analyze(
     const graph::DayGraph& graph, std::span<const graph::DomainId> candidates,
     const timing::PeriodicityDetector& detector, std::size_t n_threads) {
   // Per-candidate result slots keep the merge order independent of thread
-  // scheduling.
+  // scheduling; the shared deterministic fan-out partitions the candidate
+  // range (same helper as CSR finalize and rare extraction).
   std::vector<std::vector<AutomatedPair>> slots(candidates.size());
-  if (n_threads <= 1 || candidates.size() < 2) {
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      slots[i] = analyze_domain(graph, candidates[i], detector);
-    }
-  } else {
-    const std::size_t workers = std::min(n_threads, candidates.size());
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&, w] {
-        for (std::size_t i = w; i < candidates.size(); i += workers) {
+  util::parallel_ranges(
+      candidates.size(), n_threads,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
           slots[i] = analyze_domain(graph, candidates[i], detector);
         }
       });
-    }
-    for (std::thread& worker : pool) worker.join();
-  }
 
   AutomationAnalysis out;
   for (std::size_t i = 0; i < candidates.size(); ++i) {

@@ -1,20 +1,28 @@
 #include "graph/day_graph.h"
 
 #include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+#include "util/parallel.h"
 
 namespace eid::graph {
 
-void DayGraph::add_event(const logs::ConnEvent& event) {
-  const HostId host = hosts_.intern(event.host);
-  const DomainId domain = domains_.intern(event.domain);
-  EdgeData& edge = edges_[edge_key(host, domain)];
+void DayShard::add_event(const logs::ConnEvent& event, std::uint64_t seq) {
+  const util::InternId host = hosts_.intern(event.host, seq);
+  const util::InternId domain = domains_.intern(event.domain, seq);
+  const std::uint64_t key = edge_key(host, domain);
+  const auto [slot, inserted] =
+      edge_slot_.try_emplace(key, static_cast<std::uint32_t>(edges_.size()));
+  if (inserted) edges_.emplace_back();
+  Edge& edge = edges_[slot->second];
   edge.times.push_back(event.ts);
   if (event.has_referer) edge.any_referer = true;
   if (event.has_http_context) {
     if (event.user_agent.empty()) {
       edge.any_empty_ua = true;
     } else {
-      const UaId ua = uas_.intern(event.user_agent);
+      const UaId ua = uas_.intern(event.user_agent, seq);
       if (std::find(edge.user_agents.begin(), edge.user_agents.end(), ua) ==
           edge.user_agents.end()) {
         edge.user_agents.push_back(ua);
@@ -24,43 +32,247 @@ void DayGraph::add_event(const logs::ConnEvent& event) {
   if (event.dest_ip) {
     if (ips_of_domain_.size() <= domain) ips_of_domain_.resize(domain + 1);
     auto& ips = ips_of_domain_[domain];
-    if (std::find(ips.begin(), ips.end(), *event.dest_ip) == ips.end()) {
-      ips.push_back(*event.dest_ip);
-    }
+    const bool seen =
+        std::any_of(ips.begin(), ips.end(),
+                    [&](const IpSeen& s) { return s.ip == *event.dest_ip; });
+    if (!seen) ips.push_back(IpSeen{*event.dest_ip, seq});
   }
-  finalized_ = false;
 }
 
-void DayGraph::finalize() {
-  hosts_of_domain_.assign(domains_.size(), {});
-  domains_of_host_.assign(hosts_.size(), {});
-  ips_of_domain_.resize(domains_.size());
-  for (auto& [key, edge] : edges_) {
-    std::sort(edge.times.begin(), edge.times.end());
-    const HostId host = static_cast<HostId>(key >> 32);
-    const DomainId domain = static_cast<DomainId>(key & 0xffffffffu);
-    hosts_of_domain_[domain].push_back(host);
-    domains_of_host_[host].push_back(domain);
+void DayGraph::add_event(const logs::ConnEvent& event) {
+  // Loud, defined failure in every build type: the ingest shards were
+  // consumed by finalize(), so silently dropping events here would
+  // corrupt a detection day.
+  if (finalized_) {
+    assert(!finalized_ && "DayGraph::add_event after finalize()");
+    std::abort();
   }
-  // Deterministic ordering independent of hash iteration order.
-  for (auto& hosts : hosts_of_domain_) std::sort(hosts.begin(), hosts.end());
-  for (auto& domains : domains_of_host_) std::sort(domains.begin(), domains.end());
+  shards_[shard_of(event.host)].add_event(event, seq_++);
+}
+
+void DayGraph::add_events(std::span<const logs::ConnEvent> events) {
+  if (finalized_) {
+    assert(!finalized_ && "DayGraph::add_events after finalize()");
+    std::abort();
+  }
+  if (events.empty()) return;
+  // Small batches (and the one-shard case) dispatch directly — staging
+  // plus thread fan-out only pays off once per-shard interning outweighs
+  // thread spawn/join, from a couple thousand events per batch. Both
+  // paths consume identical per-shard sequences, so results do not depend
+  // on the cutoff. (A persistent worker pool is the ROADMAP follow-up.)
+  if (shards_.size() == 1 || events.size() < 2048) {
+    for (const logs::ConnEvent& event : events) {
+      shards_[shard_of(event.host)].add_event(event, seq_++);
+    }
+    return;
+  }
+  // Route first (sequential: one host hash + a pointer push per event),
+  // then let every shard intern and aggregate its share concurrently —
+  // shards are disjoint, so no locks. Per-shard arrival order and seq tags
+  // are exactly those of the sequential loop, so the finalized graph is
+  // bit-identical for any shard count or batch split.
+  if (staged_.size() != shards_.size()) staged_.resize(shards_.size());
+  for (auto& staged : staged_) staged.clear();
+  for (const logs::ConnEvent& event : events) {
+    staged_[shard_of(event.host)].push_back(Routed{&event, seq_++});
+  }
+  util::parallel_ranges(
+      shards_.size(), shards_.size(),
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t s = begin; s < end; ++s) {
+          for (const Routed& routed : staged_[s]) {
+            shards_[s].add_event(*routed.event, routed.seq);
+          }
+        }
+      });
+}
+
+std::size_t DayGraph::host_count() const {
+  if (finalized_) return hosts_.size();
+  std::size_t total = 0;
+  for (const DayShard& shard : shards_) total += shard.host_count();
+  return total;
+}
+
+std::size_t DayGraph::domain_count() const {
+  if (finalized_) return domains_.size();
+  // Pre-finalize upper bound: a domain contacted from hosts in several
+  // shards is counted once per shard (hosts are exact — they live in
+  // exactly one shard).
+  std::size_t total = 0;
+  for (const DayShard& shard : shards_) total += shard.domain_count();
+  return total;
+}
+
+std::size_t DayGraph::edge_count() const {
+  if (finalized_) return edge_data_.size();
+  std::size_t total = 0;
+  for (const DayShard& shard : shards_) total += shard.edge_count();
+  return total;
+}
+
+void DayGraph::finalize(std::size_t n_threads) {
+  if (finalized_) return;  // idempotent: the shards are already merged
+
+  // 1. Merge the shard interners into global id spaces. Ordering by global
+  // first appearance makes every id identical to a sequential build.
+  std::vector<const util::ShardInterner*> host_shards;
+  std::vector<const util::ShardInterner*> domain_shards;
+  std::vector<const util::ShardInterner*> ua_shards;
+  host_shards.reserve(shards_.size());
+  domain_shards.reserve(shards_.size());
+  ua_shards.reserve(shards_.size());
+  for (const DayShard& shard : shards_) {
+    host_shards.push_back(&shard.hosts_);
+    domain_shards.push_back(&shard.domains_);
+    ua_shards.push_back(&shard.uas_);
+  }
+  util::InternerMerge hosts = util::merge_interners(host_shards);
+  util::InternerMerge domains = util::merge_interners(domain_shards);
+  util::InternerMerge uas = util::merge_interners(ua_shards);
+
+  // 2. Stage every edge under its global (host, domain) key and order by
+  // key. Host-hash routing puts each pair in exactly one shard, so keys
+  // are unique and the sort is a total order regardless of the hash-map
+  // iteration order it starts from.
+  struct Staged {
+    std::uint64_t key = 0;
+    std::uint32_t shard = 0;
+    std::uint32_t slot = 0;
+  };
+  std::size_t n_edges = 0;
+  for (const DayShard& shard : shards_) n_edges += shard.edges_.size();
+  std::vector<Staged> staged;
+  staged.reserve(n_edges);
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    for (const auto& [local, slot] : shards_[s].edge_slot_) {
+      const HostId host = hosts.to_global[s][local >> 32];
+      const DomainId domain = domains.to_global[s][local & 0xffffffffu];
+      staged.push_back(Staged{DayShard::edge_key(host, domain), s, slot});
+    }
+  }
+  std::sort(staged.begin(), staged.end(),
+            [](const Staged& a, const Staged& b) { return a.key < b.key; });
+
+  // 3. CSR forward layout: per-host offset rows over flat edge_index_ /
+  // edge_data_. The per-edge work (timestamp sort, UA id remap) is the
+  // finalize hot loop; it parallelizes over contiguous edge ranges with
+  // results written into per-edge slots, so any thread count produces the
+  // same arrays.
+  host_offsets_.assign(hosts.interner.size() + 1, 0);
+  for (const Staged& st : staged) ++host_offsets_[(st.key >> 32) + 1];
+  for (std::size_t h = 1; h < host_offsets_.size(); ++h) {
+    host_offsets_[h] += host_offsets_[h - 1];
+  }
+  edge_index_.resize(n_edges);
+  edge_data_.resize(n_edges);
+  util::parallel_ranges(
+      n_edges, n_threads, [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const Staged& st = staged[i];
+          DayShard::Edge& src = shards_[st.shard].edges_[st.slot];
+          EdgeData& dst = edge_data_[i];
+          edge_index_[i] = static_cast<DomainId>(st.key & 0xffffffffu);
+          dst.times = std::move(src.times);
+          std::sort(dst.times.begin(), dst.times.end());
+          dst.user_agents.reserve(src.user_agents.size());
+          for (const UaId ua : src.user_agents) {
+            dst.user_agents.push_back(uas.to_global[st.shard][ua]);
+          }
+          dst.any_referer = src.any_referer;
+          dst.any_empty_ua = src.any_empty_ua;
+        }
+      });
+
+  // 4. Reverse CSR (dom_host of Algorithm 1) by counting sort; scanning
+  // edges in (host, domain) order emits each domain's hosts ascending.
+  domain_offsets_.assign(domains.interner.size() + 1, 0);
+  for (const DomainId domain : edge_index_) ++domain_offsets_[domain + 1];
+  for (std::size_t d = 1; d < domain_offsets_.size(); ++d) {
+    domain_offsets_[d] += domain_offsets_[d - 1];
+  }
+  domain_hosts_.resize(n_edges);
+  std::vector<std::uint32_t> cursor(domain_offsets_.begin(),
+                                    domain_offsets_.end() - 1);
+  for (std::size_t h = 0; h + 1 < host_offsets_.size(); ++h) {
+    for (std::uint32_t e = host_offsets_[h]; e < host_offsets_[h + 1]; ++e) {
+      domain_hosts_[cursor[edge_index_[e]]++] = static_cast<HostId>(h);
+    }
+  }
+
+  // 5. Distinct destination IPs per domain: union the shard-local sets by
+  // earliest appearance, reproducing the sequential first-seen dedup order.
+  std::vector<std::vector<DayShard::IpSeen>> merged_ips(domains.interner.size());
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    const DayShard& shard = shards_[s];
+    for (std::size_t local = 0; local < shard.ips_of_domain_.size(); ++local) {
+      if (shard.ips_of_domain_[local].empty()) continue;
+      auto& bucket = merged_ips[domains.to_global[s][local]];
+      bucket.insert(bucket.end(), shard.ips_of_domain_[local].begin(),
+                    shard.ips_of_domain_[local].end());
+    }
+  }
+  ip_offsets_.assign(domains.interner.size() + 1, 0);
+  domain_ips_.clear();
+  for (std::size_t d = 0; d < merged_ips.size(); ++d) {
+    auto& bucket = merged_ips[d];
+    std::sort(bucket.begin(), bucket.end(),
+              [](const DayShard::IpSeen& a, const DayShard::IpSeen& b) {
+                return a.seq < b.seq;
+              });
+    const std::size_t row_begin = domain_ips_.size();
+    for (const DayShard::IpSeen& seen : bucket) {
+      const auto first = domain_ips_.begin() + static_cast<std::ptrdiff_t>(row_begin);
+      if (std::find(first, domain_ips_.end(), seen.ip) == domain_ips_.end()) {
+        domain_ips_.push_back(seen.ip);
+      }
+    }
+    ip_offsets_[d + 1] = static_cast<std::uint32_t>(domain_ips_.size());
+  }
+
+  // 6. Install the merged interners and release the ingest shards.
+  hosts_ = std::move(hosts.interner);
+  domains_ = std::move(domains.interner);
+  uas_ = std::move(uas.interner);
+  shards_.clear();
+  shards_.shrink_to_fit();
+  staged_.clear();  // holds pointers into caller-owned (freed) chunk spans
+  staged_.shrink_to_fit();
   finalized_ = true;
 }
 
+// Row guards compare against size() - 1 (offsets hold count + 1 entries):
+// an id + 1 form would wrap for kNoId and index out of bounds. The
+// asserts keep the misuse contract consistent with name()/find(): a query
+// before finalize() fails loudly in debug builds rather than reading as a
+// plausible empty day.
 std::span<const HostId> DayGraph::domain_hosts(DomainId domain) const {
-  if (domain >= hosts_of_domain_.size()) return {};
-  return hosts_of_domain_[domain];
+  assert(finalized_);
+  if (domain_offsets_.size() <= 1 || domain >= domain_offsets_.size() - 1) {
+    return {};
+  }
+  return {domain_hosts_.data() + domain_offsets_[domain],
+          domain_offsets_[domain + 1] - domain_offsets_[domain]};
 }
 
 std::span<const DomainId> DayGraph::host_domains(HostId host) const {
-  if (host >= domains_of_host_.size()) return {};
-  return domains_of_host_[host];
+  assert(finalized_);
+  if (host_offsets_.size() <= 1 || host >= host_offsets_.size() - 1) return {};
+  return {edge_index_.data() + host_offsets_[host],
+          host_offsets_[host + 1] - host_offsets_[host]};
 }
 
 const EdgeData* DayGraph::edge(HostId host, DomainId domain) const {
-  auto it = edges_.find(edge_key(host, domain));
-  return it == edges_.end() ? nullptr : &it->second;
+  assert(finalized_);
+  if (host_offsets_.size() <= 1 || host >= host_offsets_.size() - 1) {
+    return nullptr;
+  }
+  const auto row_begin = edge_index_.begin() + host_offsets_[host];
+  const auto row_end = edge_index_.begin() + host_offsets_[host + 1];
+  const auto it = std::lower_bound(row_begin, row_end, domain);
+  if (it == row_end || *it != domain) return nullptr;
+  return &edge_data_[static_cast<std::size_t>(it - edge_index_.begin())];
 }
 
 std::optional<util::TimePoint> DayGraph::first_contact(HostId host,
@@ -71,8 +283,10 @@ std::optional<util::TimePoint> DayGraph::first_contact(HostId host,
 }
 
 std::span<const util::Ipv4> DayGraph::domain_ips(DomainId domain) const {
-  if (domain >= ips_of_domain_.size()) return {};
-  return ips_of_domain_[domain];
+  assert(finalized_);
+  if (ip_offsets_.size() <= 1 || domain >= ip_offsets_.size() - 1) return {};
+  return {domain_ips_.data() + ip_offsets_[domain],
+          ip_offsets_[domain + 1] - ip_offsets_[domain]};
 }
 
 }  // namespace eid::graph

@@ -1,11 +1,21 @@
 // The host <-> domain bipartite graph for one observation window (one day,
-// §III-C). Nodes are interned to dense ids; each edge stores the connection
-// timestamps and the HTTP context aggregates the feature layer needs
-// (referer presence, user-agent set). The belief propagation algorithm
-// consumes this structure through the dom_host / host_rdom views named in
-// Algorithm 1 of the paper.
+// §III-C), engineered for enterprise volume. Ingestion is sharded: events
+// route by host hash into independent shard builders (one caller thread,
+// no locks anywhere), each shard interning locally and tagging first
+// appearances with the global arrival sequence. finalize() merges the
+// shards and lays the graph out as CSR (compressed sparse row): flat
+// edge_index_ / edge_data_ arrays with per-node offset spans replace the
+// old hash-table edge map and vector-of-vector adjacency, so day analysis
+// streams cache-friendly arrays. The finalized graph — every id, span and
+// edge — is bit-identical for any (shard count, thread count), because the
+// merge orders ids by global first appearance exactly like a sequential
+// build. Each edge stores the connection timestamps and the HTTP context
+// aggregates the feature layer needs (referer presence, user-agent set).
+// The belief propagation algorithm consumes this structure through the
+// dom_host / host_rdom views named in Algorithm 1 of the paper.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -34,34 +44,115 @@ struct EdgeData {
   bool any_empty_ua = false;           ///< any request carried no UA
 };
 
-/// Build by streaming a day of reduced ConnEvents, then call finalize().
-class DayGraph {
+/// One ingest shard: aggregates the events of the hosts routed to it by
+/// the DayGraph (host-hash routing, so a (host, domain) edge lives in
+/// exactly one shard). Interning is shard-local; global first-appearance
+/// sequence tags make the merge reproduce sequential ids bit for bit.
+class DayShard {
  public:
-  /// Ingest one event. Events may arrive in any order.
-  void add_event(const logs::ConnEvent& event);
-
-  /// Sort edge timestamps and build the per-node adjacency views.
-  /// Must be called once, after the last add_event.
-  void finalize();
-
-  bool finalized() const { return finalized_; }
+  void add_event(const logs::ConnEvent& event, std::uint64_t seq);
 
   std::size_t host_count() const { return hosts_.size(); }
   std::size_t domain_count() const { return domains_.size(); }
   std::size_t edge_count() const { return edges_.size(); }
 
-  const std::string& host_name(HostId id) const { return hosts_.name(id); }
-  const std::string& domain_name(DomainId id) const { return domains_.name(id); }
-  const std::string& ua_name(UaId id) const { return uas_.name(id); }
+ private:
+  friend class DayGraph;
+
+  struct Edge {
+    std::vector<util::TimePoint> times;
+    std::vector<UaId> user_agents;  ///< shard-local ua ids
+    bool any_referer = false;
+    bool any_empty_ua = false;
+  };
+  struct IpSeen {
+    util::Ipv4 ip;
+    std::uint64_t seq = 0;  ///< global first appearance of this (domain, ip)
+  };
+
+  static std::uint64_t edge_key(util::InternId host, util::InternId domain) {
+    return (static_cast<std::uint64_t>(host) << 32) | domain;
+  }
+
+  util::ShardInterner hosts_;
+  util::ShardInterner domains_;
+  util::ShardInterner uas_;
+  std::unordered_map<std::uint64_t, std::uint32_t> edge_slot_;  ///< key -> index
+  std::vector<Edge> edges_;
+  std::vector<std::vector<IpSeen>> ips_of_domain_;  ///< by local domain id
+};
+
+/// Build by streaming a day of reduced ConnEvents, then call finalize().
+/// Construct with n_shards > 1 to split ingestion across independent
+/// shard builders — a pure performance knob; the finalized graph is
+/// bit-identical for any shard count.
+class DayGraph {
+ public:
+  DayGraph() : DayGraph(1) {}
+  explicit DayGraph(std::size_t n_shards)
+      : shards_(n_shards == 0 ? 1 : n_shards) {}
+
+  /// Ingest one event. Events may arrive in any order. Must not be called
+  /// after finalize() — the ingest shards are consumed by the merge, so
+  /// this aborts (in every build type) rather than drop events.
+  void add_event(const logs::ConnEvent& event);
+
+  /// Ingest a batch. With one shard this is a plain loop; with more, the
+  /// batch is routed (cheap pointer staging, sequential) and then all
+  /// shard builders intern/aggregate their share in parallel — the
+  /// expensive per-event work — with a barrier before returning, so
+  /// `events` only needs to outlive the call. Identical result to
+  /// add_event in a loop for any shard count or batch split; same
+  /// abort-after-finalize contract.
+  void add_events(std::span<const logs::ConnEvent> events);
+
+  /// Merge the ingest shards, sort edge timestamps and build the CSR
+  /// views; n_threads parallelizes the per-edge work (timestamp sorting,
+  /// UA remapping) over contiguous edge ranges. Call after the last
+  /// add_event (idempotent: repeat calls are no-ops). All queries below
+  /// require a finalized graph.
+  void finalize(std::size_t n_threads = 1);
+
+  bool finalized() const { return finalized_; }
+
+  /// Counts are exact after finalize(). Before it, host/edge counts are
+  /// exact (a host and its edges live in exactly one shard) while
+  /// domain_count is an upper bound (a domain may span shards).
+  std::size_t host_count() const;
+  std::size_t domain_count() const;
+  std::size_t edge_count() const;
+
+  /// Names and id lookups require a finalized graph (ids live in the
+  /// merged interners); debug builds assert, matching the ingest-side
+  /// abort contract.
+  const std::string& host_name(HostId id) const {
+    assert(finalized_);
+    return hosts_.name(id);
+  }
+  const std::string& domain_name(DomainId id) const {
+    assert(finalized_);
+    return domains_.name(id);
+  }
+  const std::string& ua_name(UaId id) const {
+    assert(finalized_);
+    return uas_.name(id);
+  }
 
   /// Id lookups; kNoId when the name never appeared this day.
-  HostId find_host(std::string_view name) const { return hosts_.find(name); }
-  DomainId find_domain(std::string_view name) const { return domains_.find(name); }
+  HostId find_host(std::string_view name) const {
+    assert(finalized_);
+    return hosts_.find(name);
+  }
+  DomainId find_domain(std::string_view name) const {
+    assert(finalized_);
+    return domains_.find(name);
+  }
 
-  /// dom_host mapping of Algorithm 1: hosts contacting the domain.
+  /// dom_host mapping of Algorithm 1: hosts contacting the domain,
+  /// ascending host id.
   std::span<const HostId> domain_hosts(DomainId domain) const;
 
-  /// All domains a host contacted this day.
+  /// All domains a host contacted this day, ascending domain id.
   std::span<const DomainId> host_domains(HostId host) const;
 
   /// Edge data; nullptr when the pair never connected.
@@ -70,31 +161,52 @@ class DayGraph {
   /// First connection timestamp of the pair; nullopt when no edge.
   std::optional<util::TimePoint> first_contact(HostId host, DomainId domain) const;
 
-  /// Distinct destination IPs observed for the domain.
+  /// Distinct destination IPs observed for the domain, in order of first
+  /// appearance in the event stream.
   std::span<const util::Ipv4> domain_ips(DomainId domain) const;
 
   /// Visit every (host, domain, edge) triple: fn(HostId, DomainId,
-  /// const EdgeData&). Iteration order is unspecified (hash order).
+  /// const EdgeData&). Iteration is in ascending (host id, domain id)
+  /// order — deterministic and stable across shard/thread counts; call
+  /// sites may rely on it (this replaced the old unspecified hash order).
+  /// Requires a finalized graph, like every other query.
   template <typename Fn>
   void for_each_edge(Fn&& fn) const {
-    for (const auto& [key, edge] : edges_) {
-      fn(static_cast<HostId>(key >> 32), static_cast<DomainId>(key & 0xffffffffu),
-         edge);
+    assert(finalized_);
+    for (std::size_t h = 0; h + 1 < host_offsets_.size(); ++h) {
+      for (std::uint32_t e = host_offsets_[h]; e < host_offsets_[h + 1]; ++e) {
+        fn(static_cast<HostId>(h), edge_index_[e], edge_data_[e]);
+      }
     }
   }
 
  private:
-  static std::uint64_t edge_key(HostId h, DomainId d) {
-    return (static_cast<std::uint64_t>(h) << 32) | d;
+  std::size_t shard_of(std::string_view host) const {
+    return shards_.size() == 1
+               ? 0
+               : std::hash<std::string_view>{}(host) % shards_.size();
   }
 
+  // ---- ingest state (consumed by finalize) ----
+  std::vector<DayShard> shards_;
+  std::uint64_t seq_ = 0;  ///< global arrival counter
+  struct Routed {
+    const logs::ConnEvent* event = nullptr;
+    std::uint64_t seq = 0;
+  };
+  std::vector<std::vector<Routed>> staged_;  ///< add_events scratch, per shard
+
+  // ---- finalized CSR state ----
   util::Interner hosts_;
   util::Interner domains_;
   util::Interner uas_;
-  std::unordered_map<std::uint64_t, EdgeData> edges_;
-  std::vector<std::vector<HostId>> hosts_of_domain_;
-  std::vector<std::vector<DomainId>> domains_of_host_;
-  std::vector<std::vector<util::Ipv4>> ips_of_domain_;
+  std::vector<std::uint32_t> host_offsets_;   ///< hosts + 1 row offsets
+  std::vector<DomainId> edge_index_;          ///< flat, (host, domain) sorted
+  std::vector<EdgeData> edge_data_;           ///< parallel to edge_index_
+  std::vector<std::uint32_t> domain_offsets_; ///< domains + 1 row offsets
+  std::vector<HostId> domain_hosts_;          ///< flat, ascending per domain
+  std::vector<std::uint32_t> ip_offsets_;     ///< domains + 1 row offsets
+  std::vector<util::Ipv4> domain_ips_;        ///< flat, first-appearance order
   bool finalized_ = false;
 };
 

@@ -8,10 +8,10 @@
 #include <cstddef>
 #include <string>
 #include <string_view>
-#include <unordered_set>
 #include <vector>
 
 #include "graph/day_graph.h"
+#include "util/interner.h"
 #include "util/time.h"
 
 namespace eid::profile {
@@ -19,10 +19,12 @@ namespace eid::profile {
 /// Set of (folded) domains ever contacted by internal hosts.
 class DomainHistory {
  public:
-  /// True when the history has never seen the domain.
-  bool is_new(std::string_view domain) const {
-    return !seen_.contains(std::string(domain));
-  }
+  /// Owned-string set probed allocation-free with views: is_new runs once
+  /// per domain per day, so lookups must not construct temporaries.
+  using DomainSet = util::TransparentStringSet;
+
+  /// True when the history has never seen the domain. Allocation-free.
+  bool is_new(std::string_view domain) const { return !seen_.contains(domain); }
 
   /// Record a day's distinct domains. Call at end-of-day so the day's own
   /// traffic does not mask its new destinations.
@@ -37,16 +39,16 @@ class DomainHistory {
   std::size_t days_ingested() const { return days_ingested_; }
 
   /// Full domain set (persistence, diagnostics).
-  const std::unordered_set<std::string>& domains() const { return seen_; }
+  const DomainSet& domains() const { return seen_; }
 
   /// Restore from persisted state, replacing current contents.
-  void restore(std::unordered_set<std::string> domains, std::size_t days) {
+  void restore(DomainSet domains, std::size_t days) {
     seen_ = std::move(domains);
     days_ingested_ = days;
   }
 
  private:
-  std::unordered_set<std::string> seen_;
+  DomainSet seen_;
   std::size_t days_ingested_ = 0;
 };
 
@@ -59,10 +61,13 @@ struct RareExtraction {
 
 /// Extract the day's rare destinations from its graph. `popularity_threshold`
 /// is the maximum distinct-host count for "unpopular" (the paper uses 10,
-/// chosen with enterprise security professionals).
+/// chosen with enterprise security professionals). `n_threads` partitions
+/// the domain-id range across worker threads; per-range results concatenate
+/// in range order, so the output is bit-identical for any thread count.
 RareExtraction extract_rare_destinations(const graph::DayGraph& graph,
                                          const DomainHistory& history,
-                                         std::size_t popularity_threshold = 10);
+                                         std::size_t popularity_threshold = 10,
+                                         std::size_t n_threads = 1);
 
 /// End-of-day history update from a finalized graph.
 void update_history(DomainHistory& history, const graph::DayGraph& graph);

@@ -41,7 +41,7 @@ std::optional<DomainHistory> load_domain_history(
   if (header.size() != 2 || header[0] != "days" || !parse_size(header[1], days)) {
     return std::nullopt;
   }
-  std::unordered_set<std::string> domains;
+  DomainHistory::DomainSet domains;
   while (std::getline(in, line)) {
     if (!line.empty()) domains.insert(line);
   }

@@ -1,0 +1,47 @@
+#include "util/interner.h"
+
+#include <algorithm>
+
+namespace eid::util {
+
+InternerMerge merge_interners(std::span<const ShardInterner* const> shards) {
+  struct Entry {
+    std::uint64_t seq = 0;
+    std::uint32_t shard = 0;
+    InternId local = 0;
+  };
+
+  InternerMerge out;
+  out.to_global.resize(shards.size());
+  std::size_t total = 0;
+  for (const ShardInterner* shard : shards) total += shard->size();
+
+  std::vector<Entry> entries;
+  entries.reserve(total);
+  for (std::uint32_t s = 0; s < shards.size(); ++s) {
+    out.to_global[s].assign(shards[s]->size(), kInvalidInternId);
+    for (InternId i = 0; i < shards[s]->size(); ++i) {
+      entries.push_back(Entry{shards[s]->first_seq(i), s, i});
+    }
+  }
+  // Replaying first appearances in global stream order assigns ids exactly
+  // as a sequential Interner over the unsharded stream would have: a string
+  // living in several shards gets its id at its earliest appearance, and
+  // later shards dedup onto it through intern().
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.seq < b.seq; });
+  for (const Entry& entry : entries) {
+    out.to_global[entry.shard][entry.local] =
+        out.interner.intern(shards[entry.shard]->name(entry.local));
+  }
+  return out;
+}
+
+InternerMerge ShardedInterner::merge() const {
+  std::vector<const ShardInterner*> refs;
+  refs.reserve(shards_.size());
+  for (const ShardInterner& shard : shards_) refs.push_back(&shard);
+  return merge_interners(refs);
+}
+
+}  // namespace eid::util

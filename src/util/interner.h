@@ -1,11 +1,19 @@
 // String interning: the graph and feature layers work on dense uint32 ids
 // for hosts and domains; strings only live at the log/simulator boundary.
+// Lookups are heterogeneous (string_view probes an owned-string table
+// without materializing a temporary std::string), so the per-event hot
+// path never allocates for already-seen names. ShardInterner + the merge
+// path let independently built shards reproduce, bit for bit, the id
+// assignment one sequential Interner would have produced.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace eid::util {
@@ -15,34 +23,140 @@ using InternId = std::uint32_t;
 
 inline constexpr InternId kInvalidInternId = 0xffffffffu;
 
-/// Bidirectional string <-> dense-id map. Not thread-safe; the pipeline is
-/// single-threaded per day, matching the daily batch model of the paper.
+/// Transparent string hashing: lets unordered containers keyed by
+/// std::string be probed with a string_view, so lookups on the per-event
+/// hot path stop constructing temporary strings.
+struct TransparentStringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view text) const noexcept {
+    return std::hash<std::string_view>{}(text);
+  }
+  std::size_t operator()(const std::string& text) const noexcept {
+    return std::hash<std::string_view>{}(std::string_view(text));
+  }
+};
+
+/// Map keyed by owned strings but probed allocation-free with views.
+template <typename Value>
+using TransparentStringMap =
+    std::unordered_map<std::string, Value, TransparentStringHash,
+                       std::equal_to<>>;
+
+/// Set of owned strings probed allocation-free with views.
+using TransparentStringSet =
+    std::unordered_set<std::string, TransparentStringHash, std::equal_to<>>;
+
+/// Bidirectional string <-> dense-id map. Not thread-safe; one day path
+/// builds on one thread (or on independent shards — see ShardInterner).
 class Interner {
  public:
-  /// Id for the string, inserting it if new.
+  Interner() = default;
+  Interner(Interner&&) = default;
+  Interner& operator=(Interner&&) = default;
+  // The id -> name table points into the map's (address-stable) keys, so
+  // copies must rebuild it against their own map.
+  Interner(const Interner& other) : ids_(other.ids_) { rebuild_names(); }
+  Interner& operator=(const Interner& other) {
+    if (this != &other) {
+      ids_ = other.ids_;
+      rebuild_names();
+    }
+    return *this;
+  }
+
+  /// Id for the string, inserting it if new. Allocates only on first sight.
   InternId intern(std::string_view text) {
-    auto it = ids_.find(std::string(text));
-    if (it != ids_.end()) return it->second;
-    const InternId id = static_cast<InternId>(strings_.size());
-    strings_.emplace_back(text);
-    ids_.emplace(strings_.back(), id);
+    if (const auto it = ids_.find(text); it != ids_.end()) return it->second;
+    const InternId id = static_cast<InternId>(names_.size());
+    const auto [it, inserted] = ids_.emplace(text, id);
+    names_.push_back(&it->first);
     return id;
   }
 
   /// Id for the string if already interned, kInvalidInternId otherwise.
+  /// Allocation-free.
   InternId find(std::string_view text) const {
-    auto it = ids_.find(std::string(text));
+    const auto it = ids_.find(text);
     return it == ids_.end() ? kInvalidInternId : it->second;
   }
 
   /// String for an id. Requires id < size().
-  const std::string& name(InternId id) const { return strings_[id]; }
+  const std::string& name(InternId id) const { return *names_[id]; }
 
-  std::size_t size() const { return strings_.size(); }
+  std::size_t size() const { return names_.size(); }
 
  private:
-  std::unordered_map<std::string, InternId> ids_;
-  std::vector<std::string> strings_;
+  void rebuild_names() {
+    names_.assign(ids_.size(), nullptr);
+    for (const auto& [text, id] : ids_) names_[id] = &text;
+  }
+
+  TransparentStringMap<InternId> ids_;
+  std::vector<const std::string*> names_;  ///< id -> key in ids_
+};
+
+/// One shard of a sharded interner: interns locally while recording the
+/// global arrival sequence of every string's first appearance, so
+/// independently built shards can later be merged into exactly the id
+/// assignment a single sequential Interner scanning the whole stream
+/// would have produced. `seq` must be non-decreasing per shard (it is the
+/// position of the event in the global stream).
+class ShardInterner {
+ public:
+  /// Local id for the string, inserting it (tagged with `seq`) if new.
+  InternId intern(std::string_view text, std::uint64_t seq) {
+    const InternId id = interner_.intern(text);
+    // Ids are dense, so a fresh insertion is exactly the id one past the
+    // seqs recorded so far.
+    if (id == first_seq_.size()) first_seq_.push_back(seq);
+    return id;
+  }
+
+  /// Local id if present, kInvalidInternId otherwise. Allocation-free.
+  InternId find(std::string_view text) const { return interner_.find(text); }
+
+  const std::string& name(InternId id) const { return interner_.name(id); }
+
+  /// Global stream position of the string's first appearance in this shard.
+  std::uint64_t first_seq(InternId id) const { return first_seq_[id]; }
+
+  std::size_t size() const { return interner_.size(); }
+
+ private:
+  Interner interner_;  ///< owns copy-safety of the id -> name table
+  std::vector<std::uint64_t> first_seq_;  ///< by local id
+};
+
+/// Result of merging shard interners: the global interner plus, per shard,
+/// the local-id -> global-id remap table.
+struct InternerMerge {
+  Interner interner;
+  std::vector<std::vector<InternId>> to_global;  ///< [shard][local id]
+};
+
+/// Merge shard interners into a global id space ordered by first global
+/// appearance (ascending first_seq): bit-identical to interning the
+/// original stream sequentially, for any shard count or routing.
+InternerMerge merge_interners(std::span<const ShardInterner* const> shards);
+
+/// N independent shard interners plus the deterministic merge — the
+/// convenience owner for builders that shard a stream by key hash. Each
+/// shard may be filled from its own thread (shards share no state); the
+/// merge runs after all shards are complete.
+class ShardedInterner {
+ public:
+  explicit ShardedInterner(std::size_t n_shards)
+      : shards_(n_shards == 0 ? 1 : n_shards) {}
+
+  std::size_t shard_count() const { return shards_.size(); }
+  ShardInterner& shard(std::size_t i) { return shards_[i]; }
+  const ShardInterner& shard(std::size_t i) const { return shards_[i]; }
+
+  /// Merge all shards (see merge_interners).
+  InternerMerge merge() const;
+
+ private:
+  std::vector<ShardInterner> shards_;
 };
 
 }  // namespace eid::util

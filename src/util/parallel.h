@@ -1,0 +1,67 @@
+// Deterministic data-parallel scaffolding for the day-analysis stages.
+// Work is partitioned into contiguous ranges whose boundaries depend only
+// on (n, n_threads) — never on scheduling — so any computation that writes
+// results into per-range (or per-index) slots is bit-identical for every
+// thread count, the contract the whole parallel engine is built on.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace eid::util {
+
+namespace detail {
+
+/// The one source of truth for the partition of [0, n) into contiguous
+/// ranges: both the fan-out and range_count derive from it, so per-range
+/// slot arrays sized with range_count can never be out-of-sync with the
+/// range indices the fan-out writes.
+struct RangePartition {
+  std::size_t chunk = 0;   ///< items per range (last may be short)
+  std::size_t ranges = 0;  ///< number of non-empty ranges
+};
+
+inline RangePartition partition_ranges(std::size_t n, std::size_t n_threads) {
+  if (n == 0) return {0, 0};
+  const std::size_t workers = std::min(std::max<std::size_t>(n_threads, 1), n);
+  const std::size_t chunk = (n + workers - 1) / workers;
+  return {chunk, (n + chunk - 1) / chunk};
+}
+
+}  // namespace detail
+
+/// Run fn(range_index, begin, end) over [0, n) split into up to n_threads
+/// contiguous ranges, each on its own std::thread. fn must only touch
+/// state owned by its range (no locks needed, none taken). n_threads <= 1,
+/// or n < 2, degrades to one inline call. range_index is dense from 0 and
+/// there are exactly range_count(n, n_threads) ranges.
+template <typename Fn>
+void parallel_ranges(std::size_t n, std::size_t n_threads, Fn&& fn) {
+  const auto [chunk, ranges] = detail::partition_ranges(n, n_threads);
+  if (ranges == 0) return;
+  if (ranges == 1) {
+    fn(std::size_t{0}, std::size_t{0}, n);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(ranges - 1);
+  for (std::size_t w = 1; w < ranges; ++w) {
+    const std::size_t begin = w * chunk;
+    const std::size_t end = std::min(begin + chunk, n);
+    pool.emplace_back([&fn, w, begin, end] { fn(w, begin, end); });
+  }
+  // The calling thread takes range 0 instead of idling in join — one
+  // fewer spawn per region and no wasted execution context.
+  fn(std::size_t{0}, std::size_t{0}, chunk);
+  for (std::thread& worker : pool) worker.join();
+}
+
+/// Number of ranges parallel_ranges(n, n_threads, ...) will invoke —
+/// size per-range result slots with this before fanning out.
+inline std::size_t range_count(std::size_t n, std::size_t n_threads) {
+  return detail::partition_ranges(n, n_threads).ranges;
+}
+
+}  // namespace eid::util

@@ -1,0 +1,109 @@
+// The BENCH_perf.json section writer: two independent benches merge their
+// sections into one tracked file, so the scanner must preserve sections it
+// does not own — including past values it did not write itself.
+#include "../bench/bench_common.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace eid::bench {
+namespace {
+
+class BenchJsonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("bench_json_test_" + std::to_string(::getpid()) + ".json"))
+                .string();
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string read() const {
+    std::ifstream in(path_);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  }
+
+  std::string path_;
+};
+
+TEST_F(BenchJsonTest, CreatesFileWithSection) {
+  ASSERT_TRUE(write_json_section(path_, "micro", "{\"a\": 1}"));
+  const std::string text = read();
+  EXPECT_NE(text.find("\"micro\": {\"a\": 1}"), std::string::npos);
+}
+
+TEST_F(BenchJsonTest, SecondWriterPreservesFirstSection) {
+  ASSERT_TRUE(write_json_section(path_, "micro", "{\"a\": [1, {\"b\": 2}]}"));
+  ASSERT_TRUE(write_json_section(path_, "throughput", "{\"c\": 3}"));
+  const std::string text = read();
+  EXPECT_NE(text.find("\"micro\": {\"a\": [1, {\"b\": 2}]}"), std::string::npos);
+  EXPECT_NE(text.find("\"throughput\": {\"c\": 3}"), std::string::npos);
+}
+
+TEST_F(BenchJsonTest, RewriteReplacesOnlyOwnSection) {
+  ASSERT_TRUE(write_json_section(path_, "micro", "{\"old\": true}"));
+  ASSERT_TRUE(write_json_section(path_, "throughput", "{\"keep\": 1}"));
+  ASSERT_TRUE(write_json_section(path_, "micro", "{\"new\": true}"));
+  const std::string text = read();
+  EXPECT_EQ(text.find("\"old\""), std::string::npos);
+  EXPECT_NE(text.find("\"new\": true"), std::string::npos);
+  EXPECT_NE(text.find("\"keep\": 1"), std::string::npos);
+}
+
+TEST_F(BenchJsonTest, PreservesForeignScalarAndStringSections) {
+  // Sections this repo's benches never write must still round-trip: bare
+  // scalars terminated by '}' and strings containing commas and braces.
+  {
+    std::ofstream out(path_);
+    out << "{\"tag\": \"x,}y\", \"micro\": {\"a\": 1}, \"schema_version\": 2}";
+  }
+  ASSERT_TRUE(write_json_section(path_, "throughput", "{\"c\": 3}"));
+  const std::string text = read();
+  EXPECT_NE(text.find("\"tag\": \"x,}y\""), std::string::npos);
+  EXPECT_NE(text.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(text.find("\"micro\": {\"a\": 1}"), std::string::npos);
+  EXPECT_NE(text.find("\"throughput\": {\"c\": 3}"), std::string::npos);
+}
+
+TEST_F(BenchJsonTest, MalformedFileIsReplacedNotCrashed) {
+  {
+    std::ofstream out(path_);
+    out << "{\"micro\": {unterminated";
+  }
+  ASSERT_TRUE(write_json_section(path_, "throughput", "{\"c\": 3}"));
+  const std::string text = read();
+  EXPECT_NE(text.find("\"throughput\": {\"c\": 3}"), std::string::npos);
+}
+
+TEST_F(BenchJsonTest, TakeJsonFlagParsesAndStrips) {
+  char prog[] = "bench";
+  char keep[] = "--days";
+  char keep2[] = "3";
+  char flag[] = "--json=out.json";
+  char* argv[] = {prog, keep, flag, keep2, nullptr};
+  int argc = 4;
+  EXPECT_EQ(take_json_flag(argc, argv, "default.json"), "out.json");
+  ASSERT_EQ(argc, 3);
+  EXPECT_STREQ(argv[1], "--days");
+  EXPECT_STREQ(argv[2], "3");
+
+  char bare[] = "--json";
+  char* argv2[] = {prog, bare, nullptr};
+  int argc2 = 2;
+  EXPECT_EQ(take_json_flag(argc2, argv2, "default.json"), "default.json");
+  EXPECT_EQ(argc2, 1);
+
+  int argc3 = 1;
+  char* argv3[] = {prog, nullptr};
+  EXPECT_EQ(take_json_flag(argc3, argv3, "default.json"), "");
+}
+
+}  // namespace
+}  // namespace eid::bench

@@ -47,22 +47,27 @@ TEST(DeterminismTest, PipelineDayReportIsBitStable) {
   EXPECT_EQ(a, b);
 }
 
-TEST(DeterminismTest, ThreadCountDoesNotChangeReports) {
+TEST(DeterminismTest, ParallelismDoesNotChangeReports) {
+  // The parallel engine contract: analysis_threads and ingest shard count
+  // are pure performance knobs — bit-identical DayReports for any values.
   test::MapWhois whois;
   whois.add("beacon.ru", 95, 400);
   const auto events = synthetic_day(100);
   std::string baseline;
-  for (const std::size_t threads : {1u, 2u, 7u}) {
-    core::PipelineConfig config;
-    config.analysis_threads = threads;
-    core::Pipeline pipeline(config, whois);
-    pipeline.profile_day(synthetic_day(99));
-    const std::string json = core::day_report_to_json(
-        pipeline.run_day(events, 100, core::SocSeeds{}));
-    if (baseline.empty()) {
-      baseline = json;
-    } else {
-      EXPECT_EQ(json, baseline) << threads << " threads";
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    for (const std::size_t shards : {1u, 4u}) {
+      core::PipelineConfig config;
+      config.parallelism = core::Parallelism{threads, shards};
+      core::Pipeline pipeline(config, whois);
+      pipeline.profile_day(synthetic_day(99));
+      const std::string json = core::day_report_to_json(
+          pipeline.run_day(events, 100, core::SocSeeds{}));
+      if (baseline.empty()) {
+        baseline = json;
+      } else {
+        EXPECT_EQ(json, baseline)
+            << threads << " threads, " << shards << " shards";
+      }
     }
   }
 }

@@ -121,6 +121,85 @@ TEST(DayGraphTest, AdjacencyIsDeterministicallySorted) {
   EXPECT_TRUE(std::is_sorted(hosts.begin(), hosts.end()));
 }
 
+TEST(DayGraphTest, ForEachEdgeVisitsInSortedOrder) {
+  // CSR contract: iteration is ascending (host id, domain id) — stable,
+  // unlike the old hash-table order.
+  DayGraph graph;
+  graph.add_event(event(10, "h2", "b.com"));
+  graph.add_event(event(20, "h1", "c.com"));
+  graph.add_event(event(30, "h2", "a.com"));
+  graph.add_event(event(40, "h1", "a.com"));
+  graph.finalize();
+  std::vector<std::pair<HostId, DomainId>> visited;
+  graph.for_each_edge([&](HostId h, DomainId d, const EdgeData&) {
+    visited.emplace_back(h, d);
+  });
+  ASSERT_EQ(visited.size(), graph.edge_count());
+  EXPECT_TRUE(std::is_sorted(visited.begin(), visited.end()));
+}
+
+// The sharded-ingest contract: any shard count yields a finalized graph
+// bit-identical to the sequential (one-shard) build — same ids, same
+// adjacency, same edge aggregates, same IP order.
+TEST(DayGraphTest, ShardedBuildMatchesSequential) {
+  const auto feed = [](DayGraph& graph) {
+    // Interleaved hosts/domains so ids depend on global arrival order and
+    // every shard sees traffic; shared domains span shards.
+    for (int i = 0; i < 40; ++i) {
+      auto ev = event(1000 - i, "host" + std::to_string(i % 7),
+                      "dom" + std::to_string(i % 5) + ".com",
+                      i % 3 == 0 ? "UA-" + std::to_string(i % 4) : "",
+                      i % 2 == 0);
+      ev.dest_ip = util::Ipv4::from_octets(10, 0, static_cast<uint8_t>(i % 3),
+                                           static_cast<uint8_t>(i % 2));
+      graph.add_event(ev);
+    }
+  };
+  DayGraph sequential(1);
+  feed(sequential);
+  sequential.finalize();
+
+  for (const std::size_t shards : {2u, 4u, 9u}) {
+    SCOPED_TRACE(std::to_string(shards) + " shards");
+    DayGraph sharded(shards);
+    feed(sharded);
+    sharded.finalize(3);
+
+    ASSERT_EQ(sharded.host_count(), sequential.host_count());
+    ASSERT_EQ(sharded.domain_count(), sequential.domain_count());
+    ASSERT_EQ(sharded.edge_count(), sequential.edge_count());
+    for (HostId h = 0; h < sequential.host_count(); ++h) {
+      EXPECT_EQ(sharded.host_name(h), sequential.host_name(h));
+      const auto a = sequential.host_domains(h);
+      const auto b = sharded.host_domains(h);
+      ASSERT_EQ(std::vector<DomainId>(a.begin(), a.end()),
+                std::vector<DomainId>(b.begin(), b.end()));
+    }
+    for (DomainId d = 0; d < sequential.domain_count(); ++d) {
+      EXPECT_EQ(sharded.domain_name(d), sequential.domain_name(d));
+      const auto a = sequential.domain_hosts(d);
+      const auto b = sharded.domain_hosts(d);
+      ASSERT_EQ(std::vector<HostId>(a.begin(), a.end()),
+                std::vector<HostId>(b.begin(), b.end()));
+      const auto ips_a = sequential.domain_ips(d);
+      const auto ips_b = sharded.domain_ips(d);
+      ASSERT_EQ(std::vector<util::Ipv4>(ips_a.begin(), ips_a.end()),
+                std::vector<util::Ipv4>(ips_b.begin(), ips_b.end()));
+    }
+    sequential.for_each_edge([&](HostId h, DomainId d, const EdgeData& a) {
+      const EdgeData* b = sharded.edge(h, d);
+      ASSERT_NE(b, nullptr);
+      EXPECT_EQ(a.times, b->times);
+      EXPECT_EQ(a.user_agents, b->user_agents);
+      for (const UaId ua : a.user_agents) {
+        EXPECT_EQ(sharded.ua_name(ua), sequential.ua_name(ua));
+      }
+      EXPECT_EQ(a.any_referer, b->any_referer);
+      EXPECT_EQ(a.any_empty_ua, b->any_empty_ua);
+    });
+  }
+}
+
 TEST(DayGraphTest, LargeGraphConsistency) {
   DayGraph graph;
   for (int h = 0; h < 100; ++h) {
