@@ -1,0 +1,283 @@
+// State-persistence benchmark: the legacy line-oriented text formats
+// versus the binary container (storage/state.h) on a month-scale profile
+// corpus — bytes on disk and save/load wall time for the domain history,
+// the UA history, and the combined detector state. The paper's system
+// carries months of accumulated histories between daily batches (§III-E);
+// at enterprise scale that file is rewritten and re-read every day, so
+// both size and load latency are operational costs.
+//
+// Pass --json[=path] to record the results as the "state_io" section of
+// BENCH_perf.json at the repo root (run from the repo root).
+//
+// Corpus shape mirrors a real profile: a domain history of distinct folded
+// domains, and a UA history whose rare entries each list the distinct
+// corp hosts that used the UA — host names repeat across thousands of UA
+// entries, which is exactly what the shared interned string table
+// collapses to 1-3 byte ids.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "profile/persistence.h"
+#include "storage/state.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace eid;
+
+struct Corpus {
+  profile::DomainHistory domains;
+  profile::UaHistory uas{10};
+  std::size_t n_domains = 0;
+  std::size_t n_uas = 0;
+  std::size_t n_hosts = 0;
+};
+
+Corpus build_corpus() {
+  Corpus corpus;
+  util::Rng rng(42);
+
+  // Host pool: workstation names as DHCP hands them out.
+  constexpr std::size_t kHosts = 6000;
+  std::vector<std::string> hosts;
+  hosts.reserve(kHosts);
+  for (std::size_t h = 0; h < kHosts; ++h) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "workstation-%05zu.%s.ad.corp.example.com",
+                  h, h % 3 == 0 ? "nyc" : (h % 3 == 1 ? "sfo" : "lon"));
+    hosts.emplace_back(buf);
+  }
+
+  // Domain history: a month of distinct folded destinations.
+  constexpr std::size_t kDomains = 20000;
+  {
+    std::vector<std::string> domains;
+    domains.reserve(kDomains);
+    for (std::size_t d = 0; d < kDomains; ++d) {
+      char buf[80];
+      switch (d % 4) {
+        case 0:
+          std::snprintf(buf, sizeof(buf), "site-%06zu.example-brand.com", d);
+          break;
+        case 1:
+          std::snprintf(buf, sizeof(buf), "cdn%02zu.assets-%05zu.edgecast.net",
+                        d % 16, d);
+          break;
+        case 2:
+          std::snprintf(buf, sizeof(buf), "api.partner-%06zu.io", d);
+          break;
+        default:
+          std::snprintf(buf, sizeof(buf), "mail-%06zu.hosting.example.org", d);
+          break;
+      }
+      domains.emplace_back(buf);
+    }
+    corpus.domains.update(domains);
+    corpus.n_domains = corpus.domains.size();
+  }
+
+  // UA history: enterprise software population. ~10% popular, the rest
+  // rare with 6..9 distinct hosts drawn from the shared pool (entries near
+  // the popularity threshold dominate bytes: each lists almost
+  // rare_threshold hosts).
+  constexpr std::size_t kUas = 150000;
+  for (std::size_t u = 0; u < kUas; ++u) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "Mozilla/5.0 (Windows NT 10.0; Win64; x64) "
+                  "AppleWebKit/537.36 (KHTML, like Gecko) "
+                  "CorpApp-%05zu/%zu.%zu.%zu",
+                  u, 1 + u % 7, u % 10, u % 4);
+    const std::string ua(buf);
+    if (u % 10 == 0) {
+      corpus.uas.restore_entry(ua, true, {});
+      continue;
+    }
+    const std::size_t n = 6 + rng.uniform(4);
+    std::vector<std::string_view> ua_hosts;
+    ua_hosts.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ua_hosts.push_back(hosts[rng.uniform(kHosts)]);
+    }
+    corpus.uas.restore_entry(ua, false,
+                             {ua_hosts.data(), ua_hosts.size()});
+  }
+  corpus.n_uas = corpus.uas.distinct_uas();
+  corpus.n_hosts = kHosts;
+  return corpus;
+}
+
+double seconds_of(const std::function<void()>& fn, int reps = 3) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+std::size_t file_bytes(const std::filesystem::path& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<std::size_t>(size);
+}
+
+struct FormatResult {
+  std::size_t bytes = 0;
+  double save_seconds = 0.0;
+  double load_seconds = 0.0;
+};
+
+void abort_on(bool failed, const char* what) {
+  if (!failed) return;
+  std::fprintf(stderr, "bench_state_io: %s failed\n", what);
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path =
+      eid::bench::take_json_flag(argc, argv, "BENCH_perf.json");
+
+  bench::print_header("STATE-IO", "profile persistence: text vs binary container");
+  std::printf("building corpus...\n");
+  const Corpus corpus = build_corpus();
+  std::printf("corpus: %zu domains, %zu UAs (host pool %zu)\n",
+              corpus.n_domains, corpus.n_uas, corpus.n_hosts);
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "eid-bench-state-io";
+  std::filesystem::create_directories(dir);
+  const auto dom_text = dir / "domains.txt.hist";
+  const auto ua_text = dir / "uas.txt.hist";
+  const auto dom_bin = dir / "domains.bin.hist";
+  const auto ua_bin = dir / "uas.bin.hist";
+  const auto state_bin = dir / "detector.state";
+
+  FormatResult text;
+  FormatResult binary;
+
+  text.save_seconds = seconds_of([&] {
+    abort_on(!profile::save_domain_history(corpus.domains, dom_text),
+             "text domain save");
+    abort_on(!profile::save_ua_history(corpus.uas, ua_text), "text ua save");
+  });
+  text.bytes = file_bytes(dom_text) + file_bytes(ua_text);
+
+  binary.save_seconds = seconds_of([&] {
+    abort_on(!storage::save_domain_history(corpus.domains, dom_bin),
+             "binary domain save");
+    abort_on(!storage::save_ua_history(corpus.uas, ua_bin), "binary ua save");
+  });
+  binary.bytes = file_bytes(dom_bin) + file_bytes(ua_bin);
+
+  // Loads go through the same auto-detecting profile entry points for both
+  // formats — the migration contract this bench guards. The previously
+  // loaded copy is destroyed outside the timed region (both formats
+  // restore into identical structures, so teardown is format-independent).
+  std::optional<profile::DomainHistory> loaded_domains;
+  std::optional<profile::UaHistory> loaded_uas;
+  const auto time_load = [&](const std::filesystem::path& dom,
+                             const std::filesystem::path& ua) {
+    double best = 1e300;
+    for (int r = 0; r < 3; ++r) {
+      loaded_domains.reset();
+      loaded_uas.reset();
+      const double s = seconds_of(
+          [&] {
+            loaded_domains = profile::load_domain_history(dom);
+            loaded_uas = profile::load_ua_history(ua);
+          },
+          1);
+      abort_on(!loaded_domains.has_value() || !loaded_uas.has_value(), "load");
+      abort_on(loaded_domains->size() != corpus.n_domains ||
+                   loaded_uas->distinct_uas() != corpus.n_uas,
+               "load consistency check");
+      if (s < best) best = s;
+    }
+    return best;
+  };
+  text.load_seconds = time_load(dom_text, ua_text);
+  binary.load_seconds = time_load(dom_bin, ua_bin);
+
+  // Full detector-state checkpoint (no text equivalent): absolute cost of
+  // the daily save a durable deployment pays.
+  storage::DetectorState state;
+  state.domain_history = corpus.domains;
+  state.ua_history = corpus.uas;
+  const double state_save_seconds = seconds_of(
+      [&] { abort_on(!storage::save_detector_state(state, state_bin),
+                     "state save"); });
+  std::optional<storage::DetectorState> loaded_state;
+  double state_load_seconds = 1e300;
+  for (int r = 0; r < 3; ++r) {
+    loaded_state.reset();
+    const double s = seconds_of(
+        [&] { loaded_state = storage::load_detector_state(state_bin); }, 1);
+    abort_on(!loaded_state.has_value(), "state load");
+    if (s < state_load_seconds) state_load_seconds = s;
+  }
+  const std::size_t state_bytes = file_bytes(state_bin);
+
+  const double size_ratio =
+      binary.bytes > 0 ? static_cast<double>(text.bytes) /
+                             static_cast<double>(binary.bytes)
+                       : 0.0;
+  const double load_speedup =
+      binary.load_seconds > 0 ? text.load_seconds / binary.load_seconds : 0.0;
+  const double save_speedup =
+      binary.save_seconds > 0 ? text.save_seconds / binary.save_seconds : 0.0;
+
+  std::printf("\n%-22s %14s %14s\n", "", "text", "binary");
+  std::printf("%-22s %14zu %14zu\n", "bytes on disk", text.bytes, binary.bytes);
+  std::printf("%-22s %14.3f %14.3f\n", "save seconds", text.save_seconds,
+              binary.save_seconds);
+  std::printf("%-22s %14.3f %14.3f\n", "load seconds", text.load_seconds,
+              binary.load_seconds);
+  std::printf("\nbinary is %.2fx smaller, loads %.2fx faster, saves %.2fx faster\n",
+              size_ratio, load_speedup, save_speedup);
+  std::printf("full detector state: %zu bytes, save %.3fs, load %.3fs\n",
+              state_bytes, state_save_seconds, state_load_seconds);
+
+  std::filesystem::remove_all(dir);
+
+  if (!json_path.empty()) {
+    std::ostringstream body;
+    body.precision(6);
+    body << "{\n"
+         << "    \"corpus\": {\"domains\": " << corpus.n_domains
+         << ", \"uas\": " << corpus.n_uas << ", \"hosts\": " << corpus.n_hosts
+         << "},\n"
+         << "    \"text\": {\"bytes\": " << text.bytes
+         << ", \"save_seconds\": " << text.save_seconds
+         << ", \"load_seconds\": " << text.load_seconds << "},\n"
+         << "    \"binary\": {\"bytes\": " << binary.bytes
+         << ", \"save_seconds\": " << binary.save_seconds
+         << ", \"load_seconds\": " << binary.load_seconds << "},\n"
+         << "    \"detector_state\": {\"bytes\": " << state_bytes
+         << ", \"save_seconds\": " << state_save_seconds
+         << ", \"load_seconds\": " << state_load_seconds << "},\n"
+         << "    \"size_ratio\": " << size_ratio
+         << ",\n    \"load_speedup\": " << load_speedup
+         << ",\n    \"save_speedup\": " << save_speedup << "\n  }";
+    if (eid::bench::write_json_section(json_path, "state_io", body.str())) {
+      std::printf("recorded state_io section of %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -4,26 +4,97 @@
 // IOC-seeded expansion — ordered by suspiciousness for analyst review.
 //
 // Usage: enterprise_monitor [days=7] [tc=0.4] [ts=0.33] [threads=1] [shards=1]
+//                           [--state <path>] [--help]
 //
 // threads/shards drive the sharded parallel day-analysis engine; reports
 // are bit-identical for any values, so they are safe to size to the host.
+//
+// --state <path> makes the monitor durable: the full detector state
+// (histories, trained models, counters) is checkpointed to <path> after
+// every completed day via the storage subsystem, and an existing
+// checkpoint is restored on startup (skipping retraining when the saved
+// models are ready) — kill the process mid-month and restart it to resume.
+#include <charconv>
 #include <cstdio>
-#include <cstdlib>
+#include <cstring>
+#include <string>
 
+#include "api/sources.h"
 #include "eval/ac_runner.h"
+#include "storage/state.h"
+
+namespace {
+
+using namespace eid;
+
+void print_usage(const char* argv0) {
+  std::printf(
+      "usage: %s [days] [tc] [ts] [threads] [shards] [--state <path>]\n"
+      "\n"
+      "  days     operation days to monitor (default 7, >= 1)\n"
+      "  tc       C&C detection threshold Tc (default 0.4)\n"
+      "  ts       similarity threshold Ts (default 0.33)\n"
+      "  threads  day-analysis worker threads (default 1, >= 1)\n"
+      "  shards   ingest shards (default 1, >= 1)\n"
+      "  --state <path>  checkpoint the detector to <path> after each day\n"
+      "                  and restore from it on startup when present\n"
+      "  --help   this message\n",
+      argv0);
+}
+
+bool parse_int_arg(const char* text, int min_value, int& out) {
+  const char* end = text + std::strlen(text);
+  const auto [ptr, ec] = std::from_chars(text, end, out);
+  return ec == std::errc() && ptr == end && out >= min_value;
+}
+
+bool parse_double_arg(const char* text, double& out) {
+  // strtod (from_chars<double> availability varies); require full consume.
+  char* end = nullptr;
+  out = std::strtod(text, &end);
+  return end == text + std::strlen(text) && end != text;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace eid;
+  int days = 7;
+  double tc = 0.4;
+  double ts = 0.33;
+  int threads = 1;
+  int shards = 1;
+  std::string state_path;
 
-  const int days = argc > 1 ? std::atoi(argv[1]) : 7;
-  const double tc = argc > 2 ? std::atof(argv[2]) : 0.4;
-  const double ts = argc > 3 ? std::atof(argv[3]) : 0.33;
-  core::Parallelism parallelism;
-  if (argc > 4 && std::atoi(argv[4]) > 0) {
-    parallelism.threads = static_cast<std::size_t>(std::atoi(argv[4]));
-  }
-  if (argc > 5 && std::atoi(argv[5]) > 0) {
-    parallelism.shards = static_cast<std::size_t>(std::atoi(argv[5]));
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      print_usage(argv[0]);
+      return 0;
+    }
+    if (std::strcmp(arg, "--state") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --state needs a path\n");
+        print_usage(argv[0]);
+        return 1;
+      }
+      state_path = argv[++i];
+      continue;
+    }
+    bool ok = true;
+    switch (positional++) {
+      case 0: ok = parse_int_arg(arg, 1, days); break;
+      case 1: ok = parse_double_arg(arg, tc); break;
+      case 2: ok = parse_double_arg(arg, ts); break;
+      case 3: ok = parse_int_arg(arg, 1, threads); break;
+      case 4: ok = parse_int_arg(arg, 1, shards); break;
+      default: ok = false; break;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "error: bad argument \"%s\"\n", arg);
+      print_usage(argv[0]);
+      return 1;
+    }
   }
 
   sim::AcConfig world;
@@ -35,54 +106,138 @@ int main(int argc, char** argv) {
   world.campaigns_per_week = 5.0;
   sim::AcScenario scenario(world);
 
-  eval::AcRunner runner(scenario);
-  runner.pipeline().set_parallelism(parallelism);
-  std::printf("day-analysis engine: %zu thread(s), %zu ingest shard(s)\n",
-              parallelism.threads, parallelism.shards);
-  std::printf("training on January (profiling + regression)...\n");
-  const core::TrainingReport training = runner.train();
-  std::printf("C&C model: %zu rows, %zu reported, R^2=%.2f\n",
-              training.cc_rows, training.cc_positive,
-              training.cc_model.r_squared);
+  eval::AcRunnerConfig runner_config;
+  runner_config.pipeline.cc_threshold = tc;
+  runner_config.pipeline.sim_threshold = ts;
+  runner_config.pipeline.parallelism =
+      core::Parallelism{static_cast<std::size_t>(threads),
+                        static_cast<std::size_t>(shards)};
+  eval::AcRunner runner(scenario, runner_config);
+  api::Detector& detector = runner.detector();
+  std::printf("day-analysis engine: %d thread(s), %d ingest shard(s)\n",
+              threads, shards);
+
+  bool restored = false;
+  if (!state_path.empty()) {
+    // Peek at the checkpoint before applying it: a snapshot taken before
+    // finalize_training() cannot be resumed by this monitor (applying its
+    // histories and then retraining would double-ingest January), so such
+    // a file is ignored rather than half-used.
+    storage::LoadStatus status;
+    auto state = storage::load_detector_state(state_path, &status);
+    if (state && state->training.models_ready) {
+      detector.restore_state(std::move(*state));
+      const core::Pipeline& pipeline = detector.pipeline();
+      std::printf("restored checkpoint %s: %zu known domain(s), %zu UA(s), "
+                  "%zu operation day(s) completed, models trained\n",
+                  state_path.c_str(), pipeline.domain_history().size(),
+                  pipeline.ua_history().distinct_uas(),
+                  detector.days_operated());
+      restored = true;
+      // The checkpoint restores the config it was saved with; the operator
+      // asked for these thresholds and parallelism on THIS invocation, so
+      // re-apply them (the printed Tc/Ts/threads labels must stay truthful).
+      core::PipelineConfig config = pipeline.config();
+      config.cc_threshold = tc;
+      config.sim_threshold = ts;
+      config.parallelism = runner_config.pipeline.parallelism;
+      detector.pipeline().set_config(config);
+    } else if (state) {
+      std::fprintf(stderr,
+                   "warning: %s holds an untrained checkpoint — ignoring it "
+                   "and training from scratch\n",
+                   state_path.c_str());
+    } else if (status.error != storage::LoadError::FileNotFound) {
+      std::fprintf(stderr, "error: cannot restore %s: %s — %s\n",
+                   state_path.c_str(), storage::load_error_name(status.error),
+                   status.detail.c_str());
+      return 1;
+    }
+  }
+
+  if (restored) {
+    std::printf("checkpointed models are trained; skipping January training\n");
+  } else {
+    std::printf("training on January (profiling + regression)...\n");
+    const core::TrainingReport training = runner.train();
+    std::printf("C&C model: %zu rows, %zu reported, R^2=%.2f\n",
+                training.cc_rows, training.cc_positive,
+                training.cc_model.r_squared);
+  }
 
   core::SocSeeds seeds;
   seeds.domains = scenario.ioc_seeds();
+  detector.set_intel_domains(seeds.domains);
   std::printf("SOC IOC list: %zu domains\n", seeds.domains.size());
 
-  int remaining = days;
-  runner.run_operation([&](util::Day day, const core::DayAnalysis& analysis) {
-    if (remaining-- <= 0) return;
+  // Resume where the checkpoint stopped: days the restored detector already
+  // completed are not re-ingested (re-running them would double-count the
+  // history updates).
+  const util::Day first =
+      scenario.operation_begin() +
+      (restored ? static_cast<util::Day>(detector.days_operated()) : 0);
+  const util::Day last =
+      std::min<util::Day>(scenario.operation_end(), first + days - 1);
+  if (first > scenario.operation_end()) {
+    std::printf("checkpoint already covers the whole operation month — "
+                "nothing to monitor\n");
+    return 0;
+  }
+  if (restored && first > scenario.training_begin()) {
+    // The simulator's day generation depends on cross-day state (WHOIS
+    // registry, DHCP leases), so a resumed process fast-forwards it over
+    // everything the checkpointed run already consumed — training month
+    // included — without ingesting; only then does today's traffic match
+    // what the uninterrupted run would have produced.
+    std::printf("fast-forwarding simulator to %s...\n",
+                util::format_day(first).c_str());
+    for (util::Day day = scenario.training_begin(); day < first; ++day) {
+      scenario.simulator().reduced_day(day);
+    }
+  }
+  for (util::Day day = first; day <= last; ++day) {
+    api::SimSource source(scenario.simulator(), day, day);
+    const core::DayReport report = detector.run_day(source, day, seeds);
+
     std::printf("\n================ %s ================\n",
                 util::format_day(day).c_str());
     std::printf("hosts=%zu domains=%zu rare=%zu automated_pairs=%zu\n",
-                analysis.graph.host_count(), analysis.graph.domain_count(),
-                analysis.rare.size(), analysis.automation.pair_count());
+                report.hosts, report.domains, report.rare_domains,
+                report.automated_pairs);
 
-    auto& pipeline = runner.pipeline();
-    const auto cc = pipeline.detect_cc(analysis, tc);
-    std::printf("\n[1] potential C&C (Tc=%.2f): %zu domain(s)\n", tc, cc.size());
-    for (const auto& det : cc) {
+    std::printf("\n[1] potential C&C (Tc=%.2f): %zu domain(s)\n", tc,
+                report.cc_domains.size());
+    for (const auto& det : report.cc_domains) {
       std::printf("    %-30s score=%.2f period=%.0fs hosts=%zu\n",
                   det.name.c_str(), det.score, det.period, det.auto_hosts);
     }
 
-    const core::BpRunReport nohint = pipeline.run_bp_nohint(analysis, cc, ts);
     std::printf("[2] no-hint expansion (Ts=%.2f): %zu more domain(s), "
                 "%zu host(s) implicated\n",
-                ts, nohint.domains.size(), nohint.hosts.size());
-    for (const auto& det : nohint.domains) {
+                ts, report.nohint.domains.size(), report.nohint.hosts.size());
+    for (const auto& det : report.nohint.domains) {
       std::printf("    %-30s iter=%zu via %s score=%.2f\n", det.name.c_str(),
                   det.iteration, core::label_reason_name(det.reason), det.score);
     }
 
-    const core::BpRunReport hinted = pipeline.run_bp_sochints(analysis, seeds, ts);
     std::printf("[3] IOC-seeded expansion: %zu domain(s)\n",
-                hinted.domains.size());
-    for (const auto& det : hinted.domains) {
+                report.sochints.domains.size());
+    for (const auto& det : report.sochints.domains) {
       std::printf("    %-30s iter=%zu via %s score=%.2f\n", det.name.c_str(),
                   det.iteration, core::label_reason_name(det.reason), det.score);
     }
-  });
+
+    if (!state_path.empty()) {
+      storage::LoadStatus status;
+      if (detector.save_state(state_path, &status)) {
+        std::printf("[checkpoint] state saved to %s\n", state_path.c_str());
+      } else {
+        std::fprintf(stderr, "warning: checkpoint failed: %s — %s\n",
+                     storage::load_error_name(status.error),
+                     status.detail.c_str());
+      }
+    }
+  }
   std::printf("\nmonitoring complete. (Ground truth lives in the scenario — "
               "in production these reports go to the SOC for manual "
               "investigation, §VI-B.)\n");

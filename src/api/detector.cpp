@@ -1,7 +1,10 @@
 #include "api/detector.h"
 
+#include <algorithm>
 #include <optional>
 #include <utility>
+
+#include "storage/state.h"
 
 namespace eid::api {
 
@@ -67,7 +70,76 @@ core::DayReport Detector::run_day(EventSource& source, util::Day day,
   const core::DayAnalysis analysis = analyze_stream(source, day);
   core::DayReport report = pipeline_.report_day(analysis, seeds);
   pipeline_.update_histories(analysis.graph);
+  ++days_operated_;
   return report;
+}
+
+void Detector::set_intel_domains(std::vector<std::string> domains) {
+  std::sort(domains.begin(), domains.end());
+  domains.erase(std::unique(domains.begin(), domains.end()), domains.end());
+  intel_domains_ = std::move(domains);
+}
+
+core::LabelFn Detector::intel_fn() const {
+  // Sorted + deduped in set_intel_domains, so membership is a binary search
+  // over the snapshot (copied: the returned closure may outlive *this).
+  return [domains = intel_domains_](const std::string& domain) {
+    return std::binary_search(domains.begin(), domains.end(), domain);
+  };
+}
+
+bool Detector::save_state(const std::filesystem::path& path,
+                          storage::LoadStatus* status) const {
+  // Borrow everything — a daily checkpoint must not deep-copy month-scale
+  // histories just to read them once.
+  storage::DetectorStateView state;
+  state.config = &pipeline_.config();
+  state.domain_history = &pipeline_.domain_history();
+  state.ua_history = &pipeline_.ua_history();
+  state.top_sites = pipeline_.top_sites();
+  state.cc_model = &pipeline_.cc_model();
+  state.sim_model = &pipeline_.sim_model();
+  const core::Pipeline::WhoisTrainingStats whois =
+      pipeline_.whois_training_stats();
+  state.training.whois_age_sum = whois.age_sum;
+  state.training.whois_validity_sum = whois.validity_sum;
+  state.training.whois_samples = whois.samples;
+  state.training.models_ready = pipeline_.models_ready();
+  state.intel_domains = &intel_domains_;
+  state.counters.days_operated = days_operated_;
+  return storage::save_detector_state(
+      state, path, state.config->parallelism.threads, status);
+}
+
+bool Detector::load_state(const std::filesystem::path& path,
+                          storage::LoadStatus* status) {
+  std::optional<storage::DetectorState> state =
+      storage::load_detector_state(path, status);
+  if (!state) return false;
+  restore_state(std::move(*state));
+  return true;
+}
+
+void Detector::restore_state(storage::DetectorState state) {
+  pipeline_.set_config(state.config);
+  pipeline_.restore_histories(std::move(state.domain_history),
+                              std::move(state.ua_history));
+  pipeline_.restore_models(std::move(state.cc_model),
+                           std::move(state.sim_model),
+                           state.training.models_ready);
+  pipeline_.restore_whois_training_stats(
+      {state.training.whois_age_sum, state.training.whois_validity_sum,
+       static_cast<std::size_t>(state.training.whois_samples)});
+  if (state.has_top_sites) {
+    owned_top_sites_ =
+        std::make_unique<profile::TopSitesList>(std::move(state.top_sites));
+    pipeline_.set_top_sites(owned_top_sites_.get());
+  } else {
+    owned_top_sites_.reset();
+    pipeline_.set_top_sites(nullptr);
+  }
+  intel_domains_ = std::move(state.intel_domains);
+  days_operated_ = static_cast<std::size_t>(state.counters.days_operated);
 }
 
 }  // namespace eid::api

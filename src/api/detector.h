@@ -17,8 +17,18 @@
 // tests/api_equivalence_test.cpp).
 #pragma once
 
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "api/event_source.h"
 #include "core/pipeline.h"
+#include "storage/status.h"
+
+namespace eid::storage {
+struct DetectorState;
+}
 
 namespace eid::api {
 
@@ -57,9 +67,20 @@ class Detector {
   }
 
   /// Install a global-popularity whitelist; must outlive the detector.
+  /// (load_state() replaces an installed list with a detector-owned copy
+  /// when the checkpoint carries one.)
   void set_top_sites(const profile::TopSitesList* top_sites) {
+    owned_top_sites_.reset();
     pipeline_.set_top_sites(top_sites);
   }
+
+  /// External intelligence (IOC) snapshot carried with the detector state.
+  /// intel_fn() adapts it to the LabelFn the training verbs take.
+  void set_intel_domains(std::vector<std::string> domains);
+  const std::vector<std::string>& intel_domains() const {
+    return intel_domains_;
+  }
+  core::LabelFn intel_fn() const;
 
   /// Retune day-path parallelism (worker threads + ingest shards). Pure
   /// performance knobs: every report stays bit-identical for any values,
@@ -87,6 +108,33 @@ class Detector {
     pipeline_.update_histories(analysis.graph);
   }
 
+  // ---- Checkpoint/restore (storage/state.h) ----
+
+  /// Snapshot everything the detector has accumulated — histories, trained
+  /// models, top-sites whitelist, intel, config, counters — into one
+  /// binary state file (atomic tmp-file + rename). Encoding fans out over
+  /// config().parallelism.threads. Returns false with the reason in
+  /// `status` on failure. Note: regression rows of an *unfinalized*
+  /// training run are not carried; checkpoint after finalize_training().
+  bool save_state(const std::filesystem::path& path,
+                  storage::LoadStatus* status = nullptr) const;
+
+  /// Restore a snapshot into this detector, replacing its configuration,
+  /// histories, models, whitelist and counters. The WHOIS source from
+  /// construction is kept. A detector restored from a day-N checkpoint
+  /// produces bit-identical DayReports for day N+1 versus the
+  /// uninterrupted run (tests/storage_checkpoint_test.cpp).
+  bool load_state(const std::filesystem::path& path,
+                  storage::LoadStatus* status = nullptr);
+
+  /// Apply an already-decoded snapshot (callers that inspect a
+  /// storage::load_detector_state() result before committing to it avoid
+  /// decoding the file twice).
+  void restore_state(storage::DetectorState state);
+
+  /// Completed operation days (run_day calls), restored by load_state().
+  std::size_t days_operated() const { return days_operated_; }
+
   /// The underlying pipeline, for threshold sweeps (detect_cc,
   /// run_bp_nohint, ...) and model/history access.
   core::Pipeline& pipeline() { return pipeline_; }
@@ -94,6 +142,9 @@ class Detector {
 
  private:
   core::Pipeline pipeline_;
+  std::unique_ptr<profile::TopSitesList> owned_top_sites_;
+  std::vector<std::string> intel_domains_;
+  std::size_t days_operated_ = 0;
 };
 
 }  // namespace eid::api

@@ -251,6 +251,49 @@ class Pipeline {
     top_sites_ = top_sites;
   }
 
+  const profile::TopSitesList* top_sites() const { return top_sites_; }
+
+  // ---- Checkpoint/restore hooks (storage/state.h) ----
+
+  /// WHOIS aggregates accumulated while training. They seed the per-day
+  /// WhoisDefaults of every later analysis, so checkpoints must carry them
+  /// for restored runs to be bit-identical.
+  struct WhoisTrainingStats {
+    double age_sum = 0.0;
+    double validity_sum = 0.0;
+    std::size_t samples = 0;
+  };
+
+  WhoisTrainingStats whois_training_stats() const {
+    return {whois_age_sum_, whois_validity_sum_, whois_samples_};
+  }
+
+  void restore_whois_training_stats(const WhoisTrainingStats& stats) {
+    whois_age_sum_ = stats.age_sum;
+    whois_validity_sum_ = stats.validity_sum;
+    whois_samples_ = stats.samples;
+  }
+
+  /// Replace the configuration wholesale (checkpoint restore). The WHOIS
+  /// source reference and accumulated histories are unchanged.
+  void set_config(const PipelineConfig& config) { config_ = config; }
+
+  /// Replace both histories with restored state.
+  void restore_histories(profile::DomainHistory domains, profile::UaHistory uas) {
+    domain_history_ = std::move(domains);
+    ua_history_ = std::move(uas);
+  }
+
+  /// Like set_models(), but also restores whether training had been
+  /// finalized when the state was saved.
+  void restore_models(ScoredModel cc, ScoredModel sim, bool ready) {
+    cc_model_ = std::move(cc);
+    sim_model_ = std::move(sim);
+    models_ready_ = ready;
+  }
+
+  bool models_ready() const { return models_ready_; }
+
   // ---- Operation ----
 
   /// Steps 1-2 + feature analysis, no thresholding, no history update.

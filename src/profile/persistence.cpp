@@ -2,11 +2,18 @@
 
 #include <charconv>
 #include <fstream>
+#include <span>
 
+#include "storage/container.h"
+#include "storage/state.h"
 #include "util/strings.h"
 
 namespace eid::profile {
 namespace {
+
+using storage::LoadError;
+using storage::LoadStatus;
+using storage::set_status;
 
 constexpr std::string_view kDomainMagic = "eid-domain-history 1";
 constexpr std::string_view kUaMagic = "eid-ua-history 1";
@@ -17,51 +24,188 @@ bool parse_size(std::string_view text, std::size_t& out) {
   return ec == std::errc() && ptr == end;
 }
 
-}  // namespace
+/// Line cursor over a loaded text file: splits on '\n' and strips one
+/// trailing '\r', so CRLF files (Windows collectors, git autocrlf) parse
+/// identically to LF files.
+class LineCursor {
+ public:
+  explicit LineCursor(std::string_view text) : rest_(text) {}
 
-bool save_domain_history(const DomainHistory& history,
-                         const std::filesystem::path& path) {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << kDomainMagic << '\n';
-  out << "days " << history.days_ingested() << '\n';
-  for (const auto& domain : history.domains()) out << domain << '\n';
-  return static_cast<bool>(out);
+  bool next(std::string_view& line) {
+    if (done_) return false;
+    const std::size_t eol = rest_.find('\n');
+    if (eol == std::string_view::npos) {
+      line = rest_;
+      done_ = true;
+      // A file ending without a final newline still yields its last line;
+      // an empty tail (file ended with '\n') does not.
+      if (line.empty()) return false;
+    } else {
+      line = rest_.substr(0, eol);
+      rest_.remove_prefix(eol + 1);
+    }
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    ++line_no_;
+    return true;
+  }
+
+  std::size_t line_no() const { return line_no_; }
+
+ private:
+  std::string_view rest_;
+  std::size_t line_no_ = 0;
+  bool done_ = false;
+};
+
+bool has_control_chars(std::string_view text) {
+  for (const char c : text) {
+    if (static_cast<unsigned char>(c) < 0x20) return true;
+  }
+  return false;
 }
 
-std::optional<DomainHistory> load_domain_history(
-    const std::filesystem::path& path) {
-  std::ifstream in(path);
-  if (!in) return std::nullopt;
-  std::string line;
-  if (!std::getline(in, line) || line != kDomainMagic) return std::nullopt;
-  if (!std::getline(in, line)) return std::nullopt;
+void set_line_status(LoadStatus* status, LoadError error, std::size_t line_no,
+                     const std::string& what) {
+  set_status(status, error, "line " + std::to_string(line_no) + ": " + what);
+}
+
+std::optional<DomainHistory> parse_domain_text(std::string_view text,
+                                               LoadStatus* status) {
+  LineCursor cursor(text);
+  std::string_view line;
+  if (!cursor.next(line) || line != kDomainMagic) {
+    set_status(status, LoadError::BadMagic,
+               "expected \"" + std::string(kDomainMagic) + "\" header");
+    return std::nullopt;
+  }
+  if (!cursor.next(line)) {
+    set_status(status, LoadError::Truncated, "missing \"days <n>\" header");
+    return std::nullopt;
+  }
   const auto header = util::split(line, ' ');
   std::size_t days = 0;
   if (header.size() != 2 || header[0] != "days" || !parse_size(header[1], days)) {
+    set_line_status(status, LoadError::Malformed, cursor.line_no(),
+                    "expected \"days <n>\"");
     return std::nullopt;
   }
   DomainHistory::DomainSet domains;
-  while (std::getline(in, line)) {
-    if (!line.empty()) domains.insert(line);
+  while (cursor.next(line)) {
+    if (line.empty()) continue;
+    // A domain name never contains whitespace or control characters; a
+    // line that does is trailing garbage (torn write, concatenated file),
+    // not data to swallow.
+    if (line.find(' ') != std::string_view::npos ||
+        line.find('\t') != std::string_view::npos || has_control_chars(line)) {
+      set_line_status(status, LoadError::Malformed, cursor.line_no(),
+                      "not a domain name");
+      return std::nullopt;
+    }
+    domains.insert(std::string(line));
   }
   DomainHistory history;
   history.restore(std::move(domains), days);
   return history;
 }
 
+std::optional<UaHistory> parse_ua_text(std::string_view text,
+                                       LoadStatus* status) {
+  LineCursor cursor(text);
+  std::string_view line;
+  if (!cursor.next(line) || line != kUaMagic) {
+    set_status(status, LoadError::BadMagic,
+               "expected \"" + std::string(kUaMagic) + "\" header");
+    return std::nullopt;
+  }
+  if (!cursor.next(line)) {
+    set_status(status, LoadError::Truncated, "missing \"threshold <n>\" header");
+    return std::nullopt;
+  }
+  const auto header = util::split(line, ' ');
+  std::size_t threshold = 0;
+  if (header.size() != 2 || header[0] != "threshold" ||
+      !parse_size(header[1], threshold) || threshold == 0) {
+    set_line_status(status, LoadError::Malformed, cursor.line_no(),
+                    "expected \"threshold <n>\" with n >= 1");
+    return std::nullopt;
+  }
+  UaHistory history(threshold);
+  while (cursor.next(line)) {
+    if (line.empty()) continue;
+    const auto fields = util::split(line, '\t');
+    if (fields.size() < 2 || fields[1].empty()) {
+      set_line_status(status, LoadError::Malformed, cursor.line_no(),
+                      "expected \"P\\t<ua>\" or \"R\\t<ua>\\t<host>...\"");
+      return std::nullopt;
+    }
+    const std::string ua(fields[1]);
+    if (fields[0] == "P") {
+      history.restore_entry(ua, true, {});
+    } else if (fields[0] == "R") {
+      const std::span<const std::string_view> hosts(fields.data() + 2,
+                                                    fields.size() - 2);
+      history.restore_entry(ua, false, hosts);
+    } else {
+      set_line_status(status, LoadError::Malformed, cursor.line_no(),
+                      "unknown entry kind \"" + std::string(fields[0]) + "\"");
+      return std::nullopt;
+    }
+  }
+  return history;
+}
+
+}  // namespace
+
+bool save_domain_history(const DomainHistory& history,
+                         const std::filesystem::path& path,
+                         std::size_t* skipped) {
+  if (skipped != nullptr) *skipped = 0;
+  std::ofstream out(path);
+  if (!out) return false;
+  out << kDomainMagic << '\n';
+  out << "days " << history.days_ingested() << '\n';
+  for (const auto& domain : history.domains()) {
+    // Names with whitespace or control characters cannot round-trip
+    // through the line format (the loader rejects them as trailing
+    // garbage); skip them like save_ua_history does — the binary format
+    // in storage/state.h carries them exactly.
+    if (domain.find(' ') != std::string::npos ||
+        domain.find('\t') != std::string::npos || has_control_chars(domain)) {
+      if (skipped != nullptr) ++*skipped;
+      continue;
+    }
+    out << domain << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<DomainHistory> load_domain_history(
+    const std::filesystem::path& path, storage::LoadStatus* status) {
+  const auto bytes = storage::read_file(path, status);
+  if (!bytes) return std::nullopt;
+  if (storage::looks_like_container(*bytes)) {
+    return storage::decode_domain_history(*bytes, status);
+  }
+  return parse_domain_text(*bytes, status);
+}
+
 bool save_ua_history(const UaHistory& history,
-                     const std::filesystem::path& path) {
+                     const std::filesystem::path& path, std::size_t* skipped) {
+  if (skipped != nullptr) *skipped = 0;
   std::ofstream out(path);
   if (!out) return false;
   out << kUaMagic << '\n';
   out << "threshold " << history.rare_threshold() << '\n';
   bool ok = true;
   history.for_each_entry([&](const std::string& ua, bool popular,
-                             const std::unordered_set<std::string>& hosts) {
-    // UA strings containing control characters cannot round-trip through
-    // the line format; skip them (they are pathological inputs anyway).
-    if (ua.find('\t') != std::string::npos || ua.find('\n') != std::string::npos) {
+                             std::span<const std::string_view> hosts) {
+    // UA strings containing line-format control characters cannot
+    // round-trip through the text format; skip them (the binary format in
+    // storage/state.h carries them exactly).
+    if (ua.find('\t') != std::string::npos ||
+        ua.find('\n') != std::string::npos ||
+        ua.find('\r') != std::string::npos) {
+      if (skipped != nullptr) ++*skipped;
       return;
     }
     if (popular) {
@@ -76,37 +220,14 @@ bool save_ua_history(const UaHistory& history,
   return ok && static_cast<bool>(out);
 }
 
-std::optional<UaHistory> load_ua_history(const std::filesystem::path& path) {
-  std::ifstream in(path);
-  if (!in) return std::nullopt;
-  std::string line;
-  if (!std::getline(in, line) || line != kUaMagic) return std::nullopt;
-  if (!std::getline(in, line)) return std::nullopt;
-  const auto header = util::split(line, ' ');
-  std::size_t threshold = 0;
-  if (header.size() != 2 || header[0] != "threshold" ||
-      !parse_size(header[1], threshold) || threshold == 0) {
-    return std::nullopt;
+std::optional<UaHistory> load_ua_history(const std::filesystem::path& path,
+                                         storage::LoadStatus* status) {
+  const auto bytes = storage::read_file(path, status);
+  if (!bytes) return std::nullopt;
+  if (storage::looks_like_container(*bytes)) {
+    return storage::decode_ua_history(*bytes, status);
   }
-  UaHistory history(threshold);
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    const auto fields = util::split(line, '\t');
-    if (fields.size() < 2 || fields[1].empty()) return std::nullopt;
-    const std::string ua(fields[1]);
-    if (fields[0] == "P") {
-      history.restore_entry(ua, true, {});
-    } else if (fields[0] == "R") {
-      std::unordered_set<std::string> hosts;
-      for (std::size_t i = 2; i < fields.size(); ++i) {
-        hosts.insert(std::string(fields[i]));
-      }
-      history.restore_entry(ua, false, std::move(hosts));
-    } else {
-      return std::nullopt;
-    }
-  }
-  return history;
+  return parse_ua_text(*bytes, status);
 }
 
 }  // namespace eid::profile

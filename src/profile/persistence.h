@@ -1,17 +1,28 @@
 // Persistence for the incrementally-maintained profiles (§III-E: histories
 // are "initialized during a bootstrapping period ... then updated
 // incrementally daily"). A production deployment restarts between daily
-// batches, so the domain and UA histories round-trip through simple
-// line-oriented files:
+// batches, so the domain and UA histories round-trip through files in one
+// of two formats, auto-detected by magic on load:
 //
-//   eid-domain-history 1
-//   days <n>
-//   <domain>            (one per line)
+//  * the legacy line-oriented text formats below (CRLF tolerated), kept so
+//    existing profiles migrate transparently:
 //
-//   eid-ua-history 1
-//   threshold <n>
-//   P\t<ua>             (popular UA)
-//   R\t<ua>\t<host>...  (rare UA with its observed hosts, tab separated)
+//      eid-domain-history 1
+//      days <n>
+//      <domain>            (one per line)
+//
+//      eid-ua-history 1
+//      threshold <n>
+//      P\t<ua>             (popular UA)
+//      R\t<ua>\t<host>...  (rare UA with its observed hosts, tab separated)
+//
+//  * the compact binary container (storage/state.h): interned string
+//    table, varint ids, per-section CRC32 — the format month-scale
+//    histories should be written in (save via storage::save_*_history).
+//
+// Loaders report failure reasons through an optional storage::LoadStatus
+// out-param (file-not-found vs bad magic vs malformed line N vs checksum
+// mismatch), instead of a bare nullopt.
 #pragma once
 
 #include <filesystem>
@@ -19,19 +30,29 @@
 
 #include "profile/domain_history.h"
 #include "profile/ua_history.h"
+#include "storage/status.h"
 
 namespace eid::profile {
 
-/// Write the history; returns false on I/O failure.
+/// Write the history in the legacy text format; returns false on I/O
+/// failure. Entries the line format cannot represent (whitespace or
+/// control characters in the name) are skipped and counted into
+/// `*skipped` when provided — the binary format (storage::save_*) carries
+/// them exactly. Prefer storage::save_domain_history for large histories.
 bool save_domain_history(const DomainHistory& history,
-                         const std::filesystem::path& path);
+                         const std::filesystem::path& path,
+                         std::size_t* skipped = nullptr);
 
-/// Load a history; nullopt on missing file, bad magic or malformed content.
+/// Load a history, auto-detecting text vs binary by magic. nullopt on
+/// failure, with the reason in `status` when provided.
 std::optional<DomainHistory> load_domain_history(
-    const std::filesystem::path& path);
+    const std::filesystem::path& path,
+    storage::LoadStatus* status = nullptr);
 
-bool save_ua_history(const UaHistory& history, const std::filesystem::path& path);
+bool save_ua_history(const UaHistory& history, const std::filesystem::path& path,
+                     std::size_t* skipped = nullptr);
 
-std::optional<UaHistory> load_ua_history(const std::filesystem::path& path);
+std::optional<UaHistory> load_ua_history(const std::filesystem::path& path,
+                                         storage::LoadStatus* status = nullptr);
 
 }  // namespace eid::profile

@@ -33,6 +33,9 @@ class TopSitesList {
   /// skipped. Returns the number of domains loaded, 0 if unreadable.
   std::size_t load(const std::filesystem::path& path);
 
+  /// Full (normalized) site set — persistence and diagnostics.
+  const std::unordered_set<std::string>& sites() const { return sites_; }
+
  private:
   std::unordered_set<std::string> sites_;
 };

@@ -1,15 +1,25 @@
 #include "profile/ua_history.h"
 
+#include <algorithm>
+
 namespace eid::profile {
 
 void UaHistory::observe(std::string_view ua, std::string_view host) {
   if (ua.empty()) return;
-  Entry& entry = uas_[std::string(ua)];
+  auto it = uas_.find(ua);
+  if (it == uas_.end()) it = uas_.emplace(std::string(ua), Entry{}).first;
+  Entry& entry = it->second;
   if (entry.popular) return;
-  entry.hosts.insert(std::string(host));
-  if (entry.hosts.size() >= rare_threshold_) {
+  const util::InternId id = hosts_.intern(host);
+  if (std::find(entry.host_ids.begin(), entry.host_ids.end(), id) !=
+      entry.host_ids.end()) {
+    return;
+  }
+  entry.host_ids.push_back(id);
+  if (entry.host_ids.size() >= rare_threshold_) {
     entry.popular = true;
-    entry.hosts.clear();  // popularity is all we need from now on
+    entry.host_ids.clear();            // popularity is all we need from now on
+    entry.host_ids.shrink_to_fit();
   }
 }
 
@@ -20,15 +30,44 @@ void UaHistory::observe_day(const std::vector<logs::ConnEvent>& events) {
 }
 
 bool UaHistory::is_rare(std::string_view ua) const {
-  auto it = uas_.find(std::string(ua));
+  const auto it = uas_.find(ua);
   if (it == uas_.end()) return true;
   return !it->second.popular;
 }
 
 std::size_t UaHistory::host_count(std::string_view ua) const {
-  auto it = uas_.find(std::string(ua));
+  const auto it = uas_.find(ua);
   if (it == uas_.end()) return 0;
-  return it->second.popular ? rare_threshold_ : it->second.hosts.size();
+  return it->second.popular ? rare_threshold_ : it->second.host_ids.size();
+}
+
+void UaHistory::restore_entry(std::string_view ua, bool popular,
+                              std::span<const std::string_view> hosts) {
+  std::vector<util::InternId> ids;
+  if (!popular) {
+    ids.reserve(hosts.size());
+    for (const std::string_view host : hosts) {
+      const util::InternId id = hosts_.intern(host);
+      if (std::find(ids.begin(), ids.end(), id) == ids.end()) ids.push_back(id);
+    }
+  }
+  restore_entry_ids(ua, popular, std::move(ids));
+}
+
+void UaHistory::restore_entry_ids(std::string_view ua, bool popular,
+                                  std::vector<util::InternId> host_ids) {
+  Entry entry;
+  // Enforce the observe() invariant on restore too: threshold-many
+  // distinct hosts means popular, and popular entries carry no host set —
+  // a persisted entry listing >= threshold hosts (hand-edited or written
+  // by an older tool) normalizes instead of violating the cap.
+  entry.popular = popular || host_ids.size() >= rare_threshold_;
+  if (!entry.popular) entry.host_ids = std::move(host_ids);
+  if (const auto it = uas_.find(ua); it != uas_.end()) {
+    it->second = std::move(entry);
+  } else {
+    uas_.emplace(std::string(ua), std::move(entry));
+  }
 }
 
 }  // namespace eid::profile

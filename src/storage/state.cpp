@@ -1,0 +1,878 @@
+#include "storage/state.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/binary.h"
+#include "util/parallel.h"
+
+namespace eid::storage {
+namespace {
+
+// Front-coding restarts every this many table entries, independent of the
+// thread count, so the encoded bytes are identical for any parallelism.
+constexpr std::size_t kFrontCodeBlock = 1024;
+
+using StringTable = std::vector<std::string_view>;
+
+StringTable sorted_unique(std::vector<std::string_view> strings) {
+  std::sort(strings.begin(), strings.end());
+  strings.erase(std::unique(strings.begin(), strings.end()), strings.end());
+  return strings;
+}
+
+/// Index of `text` in the sorted table. Caller guarantees membership.
+std::uint64_t table_id(const StringTable& table, std::string_view text) {
+  const auto it = std::lower_bound(table.begin(), table.end(), text);
+  return static_cast<std::uint64_t>(it - table.begin());
+}
+
+std::size_t common_prefix(std::string_view a, std::string_view b) {
+  const std::size_t cap = std::min(a.size(), b.size());
+  std::size_t n = 0;
+  while (n < cap && a[n] == b[n]) ++n;
+  return n;
+}
+
+/// Section 1: count, then per string (sorted ascending) the byte count
+/// shared with the previous entry, the suffix length, and the suffix.
+/// Blocks of kFrontCodeBlock entries encode independently (the block's
+/// first entry stores a zero prefix), so the big string sets fan out over
+/// util::parallel_ranges with bit-stable output.
+std::string encode_string_table(const StringTable& table,
+                                std::size_t n_threads) {
+  const std::size_t n = table.size();
+  const std::size_t n_blocks = (n + kFrontCodeBlock - 1) / kFrontCodeBlock;
+  std::vector<std::string> blocks(n_blocks);
+  util::parallel_ranges(
+      n_blocks, n_threads,
+      [&](std::size_t, std::size_t first, std::size_t last) {
+        for (std::size_t b = first; b < last; ++b) {
+          util::ByteWriter out;
+          const std::size_t begin = b * kFrontCodeBlock;
+          const std::size_t end = std::min(begin + kFrontCodeBlock, n);
+          for (std::size_t i = begin; i < end; ++i) {
+            const std::string_view text = table[i];
+            const std::size_t prefix =
+                i == begin ? 0 : common_prefix(table[i - 1], text);
+            out.varint(prefix);
+            out.varint(text.size() - prefix);
+            out.bytes(text.substr(prefix));
+          }
+          blocks[b] = out.take();
+        }
+      });
+  util::ByteWriter out;
+  out.varint(n);
+  for (const std::string& block : blocks) out.bytes(block);
+  return out.take();
+}
+
+/// Decoded string table: all strings expanded into one arena, referenced
+/// by (offset, length) spans. Section decoders hand out views; each string
+/// is owned exactly once by whichever container it restores into — the
+/// table itself never allocates per string.
+struct DecodedTable {
+  std::string arena;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> spans;
+
+  std::size_t size() const { return spans.size(); }
+  std::string_view view(std::uint64_t i) const {
+    const auto [offset, length] = spans[static_cast<std::size_t>(i)];
+    return std::string_view(arena).substr(offset, length);
+  }
+};
+
+bool decode_string_table(std::string_view payload, DecodedTable& table,
+                         LoadStatus* status) {
+  util::ByteReader in(payload);
+  std::uint64_t count = 0;
+  if (!in.varint(count)) {
+    set_status(status, LoadError::Truncated, "string table: count cut short");
+    return false;
+  }
+  // Every entry costs at least two bytes (two varints), so a corrupt count
+  // cannot force a huge allocation.
+  if (count > payload.size()) {
+    set_status(status, LoadError::Malformed,
+               "string table: count exceeds payload size");
+    return false;
+  }
+  table.arena.clear();
+  table.arena.reserve(payload.size() * 2);
+  table.spans.clear();
+  table.spans.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t prefix = 0;
+    std::string_view suffix;
+    if (!in.varint(prefix) || !in.str(suffix)) {
+      set_status(status, LoadError::Truncated,
+                 "string table: entry " + std::to_string(i) + " cut short");
+      return false;
+    }
+    const std::size_t prev_size =
+        table.spans.empty() ? 0 : table.spans.back().second;
+    if (prefix > prev_size) {
+      set_status(status, LoadError::Malformed,
+                 "string table: entry " + std::to_string(i) +
+                     " shares more bytes than the previous entry has");
+      return false;
+    }
+    const std::size_t length = static_cast<std::size_t>(prefix) + suffix.size();
+    if (table.arena.size() + length > (1ull << 31)) {
+      set_status(status, LoadError::Malformed, "string table: over 2 GiB");
+      return false;
+    }
+    const std::size_t offset = table.arena.size();
+    // Grow capacity up front so the self-append below never reallocates
+    // mid-copy (the source range lives in the same buffer).
+    if (table.arena.capacity() < offset + length) {
+      table.arena.reserve(std::max(offset + length, table.arena.capacity() * 2));
+    }
+    if (prefix > 0) {
+      table.arena.append(table.arena, table.spans.back().first,
+                         static_cast<std::size_t>(prefix));
+    }
+    table.arena.append(suffix);
+    table.spans.emplace_back(static_cast<std::uint32_t>(offset),
+                             static_cast<std::uint32_t>(length));
+  }
+  if (!in.at_end()) {
+    set_status(status, LoadError::Malformed,
+               "string table: trailing bytes after the last entry");
+    return false;
+  }
+  return true;
+}
+
+/// Ascending id sequence as first-id + deltas (sorted sets reference the
+/// sorted table, so deltas are small).
+void encode_id_run(util::ByteWriter& out, const std::vector<std::uint64_t>& ids) {
+  std::uint64_t prev = 0;
+  for (const std::uint64_t id : ids) {
+    out.varint(id - prev);
+    prev = id;
+  }
+}
+
+bool decode_id_run(util::ByteReader& in, std::uint64_t count,
+                   std::uint64_t table_size, std::vector<std::uint64_t>& out) {
+  // Every delta costs at least one byte, so a corrupt count cannot force a
+  // huge allocation.
+  if (count > in.remaining()) return false;
+  out.clear();
+  out.reserve(static_cast<std::size_t>(count));
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t delta = 0;
+    if (!in.varint(delta)) return false;
+    // Writers emit sorted unique ids, so every delta after the first is
+    // strictly positive; a zero delta would smuggle duplicates past the
+    // containers' duplicate-free restore preconditions.
+    if (i > 0 && delta == 0) return false;
+    prev += delta;
+    if (prev >= table_size) return false;
+    out.push_back(prev);
+  }
+  return true;
+}
+
+std::vector<std::uint64_t> sorted_ids(const StringTable& table,
+                                      std::vector<std::string_view> strings) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(strings.size());
+  std::sort(strings.begin(), strings.end());
+  for (const std::string_view text : strings) {
+    ids.push_back(table_id(table, text));
+  }
+  return ids;
+}
+
+// ---- Domain history ----
+
+std::vector<std::string_view> domain_views(
+    const profile::DomainHistory& history) {
+  std::vector<std::string_view> views;
+  views.reserve(history.size());
+  for (const std::string& domain : history.domains()) views.push_back(domain);
+  return views;
+}
+
+std::string encode_domain_history_section(const profile::DomainHistory& history,
+                                          const StringTable& table) {
+  util::ByteWriter out;
+  out.varint(history.days_ingested());
+  out.varint(history.size());
+  encode_id_run(out, sorted_ids(table, domain_views(history)));
+  return out.take();
+}
+
+bool decode_domain_history_section(std::string_view payload,
+                                   const DecodedTable& table,
+                                   profile::DomainHistory& history,
+                                   LoadStatus* status) {
+  util::ByteReader in(payload);
+  std::uint64_t days = 0;
+  std::uint64_t count = 0;
+  if (!in.varint(days) || !in.varint(count)) {
+    set_status(status, LoadError::Truncated, "domain history: header cut short");
+    return false;
+  }
+  std::vector<std::uint64_t> ids;
+  if (!decode_id_run(in, count, table.size(), ids) || !in.at_end()) {
+    set_status(status, LoadError::Malformed,
+               "domain history: bad domain id sequence");
+    return false;
+  }
+  profile::DomainHistory::DomainSet domains;
+  domains.reserve(ids.size());
+  for (const std::uint64_t id : ids) domains.emplace(table.view(id));
+  history.restore(std::move(domains), static_cast<std::size_t>(days));
+  return true;
+}
+
+// ---- UA history ----
+
+struct UaEntryIds {
+  std::string_view ua;
+  bool popular = false;
+  std::vector<std::uint64_t> host_table_ids;  ///< sorted ascending
+};
+
+std::vector<std::string_view> ua_views(const profile::UaHistory& history) {
+  std::vector<std::string_view> views;
+  std::vector<bool> seen(history.distinct_hosts(), false);
+  history.for_each_entry_ids([&](const std::string& ua, bool,
+                                 std::span<const util::InternId> host_ids) {
+    views.push_back(ua);
+    for (const util::InternId id : host_ids) {
+      if (!seen[id]) {
+        seen[id] = true;
+        views.push_back(history.host_name(id));
+      }
+    }
+  });
+  return views;
+}
+
+std::string encode_ua_history_section(const profile::UaHistory& history,
+                                      const StringTable& table) {
+  // Resolve each distinct host to its table id once (lazily), not per
+  // entry — hosts repeat across thousands of entries.
+  constexpr std::uint64_t kUnresolved = ~std::uint64_t{0};
+  std::vector<std::uint64_t> host_table(history.distinct_hosts(), kUnresolved);
+  std::vector<UaEntryIds> entries;
+  entries.reserve(history.distinct_uas());
+  history.for_each_entry_ids([&](const std::string& ua, bool popular,
+                                 std::span<const util::InternId> host_ids) {
+    UaEntryIds entry;
+    entry.ua = ua;
+    entry.popular = popular;
+    entry.host_table_ids.reserve(host_ids.size());
+    for (const util::InternId id : host_ids) {
+      if (host_table[id] == kUnresolved) {
+        host_table[id] = table_id(table, history.host_name(id));
+      }
+      entry.host_table_ids.push_back(host_table[id]);
+    }
+    std::sort(entry.host_table_ids.begin(), entry.host_table_ids.end());
+    entries.push_back(std::move(entry));
+  });
+  std::sort(entries.begin(), entries.end(),
+            [](const UaEntryIds& a, const UaEntryIds& b) { return a.ua < b.ua; });
+
+  util::ByteWriter out;
+  out.varint(history.rare_threshold());
+  out.varint(entries.size());
+  for (const UaEntryIds& entry : entries) {
+    out.varint(table_id(table, entry.ua));
+    out.u8(entry.popular ? 1 : 0);
+    if (entry.popular) continue;  // host set dropped once popular
+    out.varint(entry.host_table_ids.size());
+    encode_id_run(out, entry.host_table_ids);
+  }
+  return out.take();
+}
+
+bool decode_ua_history_section(std::string_view payload,
+                               const DecodedTable& table,
+                               std::optional<profile::UaHistory>& history,
+                               LoadStatus* status) {
+  util::ByteReader in(payload);
+  std::uint64_t threshold = 0;
+  std::uint64_t count = 0;
+  if (!in.varint(threshold) || !in.varint(count)) {
+    set_status(status, LoadError::Truncated, "ua history: header cut short");
+    return false;
+  }
+  if (threshold == 0) {
+    set_status(status, LoadError::Malformed, "ua history: zero rare threshold");
+    return false;
+  }
+  history.emplace(static_cast<std::size_t>(threshold));
+  history->reserve_uas(static_cast<std::size_t>(
+      std::min<std::uint64_t>(count, in.remaining())));
+  // Lazy table-id -> intern-id map: each distinct host name is registered
+  // (hashed) exactly once, no matter how many entries reference it.
+  std::vector<util::InternId> host_intern(table.size(), util::kInvalidInternId);
+  std::vector<std::uint64_t> host_ids;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto bad = [&](const char* what) {
+      set_status(status, LoadError::Malformed,
+                 "ua history: entry " + std::to_string(i) + ": " + what);
+      return false;
+    };
+    std::uint64_t ua_id = 0;
+    std::uint8_t flags = 0;
+    if (!in.varint(ua_id) || !in.u8(flags)) return bad("cut short");
+    if (ua_id >= table.size()) return bad("ua id out of range");
+    if (flags > 1) return bad("unknown flags");
+    std::vector<util::InternId> interned;
+    if (flags == 0) {
+      std::uint64_t n_hosts = 0;
+      if (!in.varint(n_hosts)) return bad("host count cut short");
+      // A rare entry always holds fewer hosts than the threshold (observe()
+      // flips it to popular at the threshold and drops the set).
+      if (n_hosts >= threshold) {
+        return bad("rare entry at or above the popularity threshold");
+      }
+      if (!decode_id_run(in, n_hosts, table.size(), host_ids)) {
+        return bad("bad host id sequence");
+      }
+      interned.reserve(host_ids.size());
+      for (const std::uint64_t id : host_ids) {
+        if (host_intern[id] == util::kInvalidInternId) {
+          host_intern[id] = history->restore_host(table.view(id));
+        }
+        interned.push_back(host_intern[id]);
+      }
+    }
+    history->restore_entry_ids(table.view(ua_id), flags == 1,
+                               std::move(interned));
+  }
+  if (!in.at_end()) {
+    set_status(status, LoadError::Malformed,
+               "ua history: trailing bytes after the last entry");
+    return false;
+  }
+  return true;
+}
+
+// ---- Plain string-set sections (top sites, intel) ----
+
+std::string encode_string_set_section(std::vector<std::string_view> strings,
+                                      const StringTable& table) {
+  util::ByteWriter out;
+  out.varint(strings.size());
+  encode_id_run(out, sorted_ids(table, std::move(strings)));
+  return out.take();
+}
+
+bool decode_string_set_section(std::string_view payload,
+                               const DecodedTable& table, const char* what,
+                               std::vector<std::string>& out,
+                               LoadStatus* status) {
+  util::ByteReader in(payload);
+  std::uint64_t count = 0;
+  if (!in.varint(count)) {
+    set_status(status, LoadError::Truncated,
+               std::string(what) + ": count cut short");
+    return false;
+  }
+  std::vector<std::uint64_t> ids;
+  if (!decode_id_run(in, count, table.size(), ids) || !in.at_end()) {
+    set_status(status, LoadError::Malformed,
+               std::string(what) + ": bad id sequence");
+    return false;
+  }
+  out.clear();
+  out.reserve(ids.size());
+  for (const std::uint64_t id : ids) out.emplace_back(table.view(id));
+  return true;
+}
+
+std::vector<std::string_view> top_site_views(const profile::TopSitesList& sites) {
+  std::vector<std::string_view> views;
+  views.reserve(sites.size());
+  for (const std::string& site : sites.sites()) views.push_back(site);
+  return views;
+}
+
+// ---- Config ----
+
+std::string encode_config_section(const core::PipelineConfig& config) {
+  util::ByteWriter out;
+  out.varint(config.popularity_threshold);
+  out.varint(config.ua_rare_threshold);
+  out.f64(config.periodicity.bin_width_seconds);
+  out.f64(config.periodicity.jeffrey_threshold);
+  out.varint(config.periodicity.min_intervals);
+  out.u8(config.periodicity.metric == timing::HistogramMetric::L1 ? 1 : 0);
+  out.f64(config.cc_threshold);
+  out.f64(config.sim_threshold);
+  out.varint(config.bp_max_iterations);
+  out.varint(config.parallelism.threads);
+  out.varint(config.parallelism.shards);
+  return out.take();
+}
+
+bool decode_config_section(std::string_view payload,
+                           core::PipelineConfig& config, LoadStatus* status) {
+  util::ByteReader in(payload);
+  std::uint64_t popularity = 0;
+  std::uint64_t ua_rare = 0;
+  std::uint64_t min_intervals = 0;
+  std::uint8_t metric = 0;
+  std::uint64_t bp_iter = 0;
+  std::uint64_t threads = 0;
+  std::uint64_t shards = 0;
+  if (!in.varint(popularity) || !in.varint(ua_rare) ||
+      !in.f64(config.periodicity.bin_width_seconds) ||
+      !in.f64(config.periodicity.jeffrey_threshold) ||
+      !in.varint(min_intervals) || !in.u8(metric) ||
+      !in.f64(config.cc_threshold) || !in.f64(config.sim_threshold) ||
+      !in.varint(bp_iter) || !in.varint(threads) || !in.varint(shards) ||
+      !in.at_end()) {
+    set_status(status, LoadError::Truncated, "config: section cut short");
+    return false;
+  }
+  // The same validity bounds core::parse_pipeline_config enforces.
+  if (popularity == 0 || ua_rare == 0 || min_intervals == 0 || bp_iter == 0 ||
+      threads == 0 || shards == 0 || metric > 1 ||
+      !(config.periodicity.bin_width_seconds > 0) ||
+      !(config.periodicity.jeffrey_threshold >= 0)) {
+    set_status(status, LoadError::Malformed, "config: value out of range");
+    return false;
+  }
+  config.popularity_threshold = static_cast<std::size_t>(popularity);
+  config.ua_rare_threshold = static_cast<std::size_t>(ua_rare);
+  config.periodicity.min_intervals = static_cast<std::size_t>(min_intervals);
+  config.periodicity.metric = metric == 1 ? timing::HistogramMetric::L1
+                                          : timing::HistogramMetric::Jeffrey;
+  config.bp_max_iterations = static_cast<std::size_t>(bp_iter);
+  config.parallelism.threads = static_cast<std::size_t>(threads);
+  config.parallelism.shards = static_cast<std::size_t>(shards);
+  return true;
+}
+
+// ---- Scored models ----
+
+void encode_doubles(util::ByteWriter& out, const std::vector<double>& values) {
+  out.varint(values.size());
+  for (const double v : values) out.f64(v);
+}
+
+bool decode_doubles(util::ByteReader& in, std::vector<double>& out) {
+  std::uint64_t count = 0;
+  if (!in.varint(count)) return false;
+  if (count > in.remaining() / 8) return false;
+  out.clear();
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    double value = 0.0;
+    if (!in.f64(value)) return false;
+    out.push_back(value);
+  }
+  return true;
+}
+
+std::string encode_model_section(const core::ScoredModel& model) {
+  util::ByteWriter out;
+  out.f64(model.threshold);
+  out.f64(model.score_offset);
+  out.f64(model.score_scale);
+  out.f64(model.model.intercept);
+  out.f64(model.model.intercept_std_error);
+  out.f64(model.model.r_squared);
+  out.f64(model.model.residual_variance);
+  out.varint(model.model.n_samples);
+  encode_doubles(out, model.model.weights);
+  encode_doubles(out, model.model.std_errors);
+  encode_doubles(out, model.model.t_stats);
+  encode_doubles(out, model.scaler.mins());
+  encode_doubles(out, model.scaler.maxs());
+  return out.take();
+}
+
+bool decode_model_section(std::string_view payload, const char* what,
+                          core::ScoredModel& model, LoadStatus* status) {
+  util::ByteReader in(payload);
+  std::uint64_t n_samples = 0;
+  std::vector<double> mins;
+  std::vector<double> maxs;
+  if (!in.f64(model.threshold) || !in.f64(model.score_offset) ||
+      !in.f64(model.score_scale) || !in.f64(model.model.intercept) ||
+      !in.f64(model.model.intercept_std_error) ||
+      !in.f64(model.model.r_squared) || !in.f64(model.model.residual_variance) ||
+      !in.varint(n_samples) || !decode_doubles(in, model.model.weights) ||
+      !decode_doubles(in, model.model.std_errors) ||
+      !decode_doubles(in, model.model.t_stats) || !decode_doubles(in, mins) ||
+      !decode_doubles(in, maxs) || !in.at_end()) {
+    set_status(status, LoadError::Truncated,
+               std::string(what) + ": section cut short");
+    return false;
+  }
+  // The consistency bounds core::parse_scored_model enforces.
+  if (model.score_scale == 0.0 || mins.size() != maxs.size() ||
+      mins.size() != model.model.weights.size()) {
+    set_status(status, LoadError::Malformed,
+               std::string(what) + ": inconsistent model dimensions");
+    return false;
+  }
+  model.model.n_samples = static_cast<std::size_t>(n_samples);
+  model.scaler.restore(std::move(mins), std::move(maxs));
+  return true;
+}
+
+// ---- Training stats / counters ----
+
+std::string encode_training_section(const TrainingStats& training) {
+  util::ByteWriter out;
+  out.f64(training.whois_age_sum);
+  out.f64(training.whois_validity_sum);
+  out.varint(training.whois_samples);
+  out.u8(training.models_ready ? 1 : 0);
+  return out.take();
+}
+
+bool decode_training_section(std::string_view payload, TrainingStats& training,
+                             LoadStatus* status) {
+  util::ByteReader in(payload);
+  std::uint8_t ready = 0;
+  if (!in.f64(training.whois_age_sum) || !in.f64(training.whois_validity_sum) ||
+      !in.varint(training.whois_samples) || !in.u8(ready) || !in.at_end()) {
+    set_status(status, LoadError::Truncated, "training stats: section cut short");
+    return false;
+  }
+  if (ready > 1) {
+    set_status(status, LoadError::Malformed,
+               "training stats: bad models-ready flag");
+    return false;
+  }
+  training.models_ready = ready == 1;
+  return true;
+}
+
+std::string encode_counters_section(const Counters& counters) {
+  util::ByteWriter out;
+  out.varint(counters.days_operated);
+  return out.take();
+}
+
+bool decode_counters_section(std::string_view payload, Counters& counters,
+                             LoadStatus* status) {
+  util::ByteReader in(payload);
+  if (!in.varint(counters.days_operated) || !in.at_end()) {
+    set_status(status, LoadError::Truncated, "counters: section cut short");
+    return false;
+  }
+  return true;
+}
+
+// ---- Shared container scaffolding ----
+
+const Section* require_section(const ContainerReader& reader, SectionId id,
+                               const char* what, LoadStatus* status) {
+  const Section* section = reader.find(id);
+  if (section == nullptr) {
+    set_status(status, LoadError::MissingSection,
+               std::string(what) + " section missing");
+  }
+  return section;
+}
+
+/// Parse the container and decode its string table — the common prologue
+/// of every load path.
+std::optional<ContainerReader> open_container(std::string_view bytes,
+                                              DecodedTable& table,
+                                              LoadStatus* status) {
+  auto reader = ContainerReader::parse(bytes, status);
+  if (!reader) return std::nullopt;
+  const Section* strings =
+      require_section(*reader, SectionId::StringTable, "string table", status);
+  if (strings == nullptr) return std::nullopt;
+  if (!decode_string_table(strings->payload, table, status)) return std::nullopt;
+  return reader;
+}
+
+bool save_container(const ContainerWriter& writer,
+                    const std::filesystem::path& path, LoadStatus* status) {
+  return write_file_atomic(path, writer.encode(), status);
+}
+
+}  // namespace
+
+// ---- Full detector state ----
+
+DetectorStateView view_of(const DetectorState& state) {
+  DetectorStateView view;
+  view.config = &state.config;
+  view.domain_history = &state.domain_history;
+  view.ua_history = &state.ua_history;
+  view.top_sites = state.has_top_sites ? &state.top_sites : nullptr;
+  view.cc_model = &state.cc_model;
+  view.sim_model = &state.sim_model;
+  view.training = state.training;
+  view.intel_domains = &state.intel_domains;
+  view.counters = state.counters;
+  return view;
+}
+
+std::string encode_detector_state(const DetectorStateView& state,
+                                  std::size_t n_threads) {
+  const bool has_intel =
+      state.intel_domains != nullptr && !state.intel_domains->empty();
+  std::vector<std::string_view> all = domain_views(*state.domain_history);
+  {
+    const std::vector<std::string_view> uas = ua_views(*state.ua_history);
+    all.insert(all.end(), uas.begin(), uas.end());
+  }
+  if (state.top_sites != nullptr) {
+    const std::vector<std::string_view> sites = top_site_views(*state.top_sites);
+    all.insert(all.end(), sites.begin(), sites.end());
+  }
+  if (has_intel) {
+    for (const std::string& domain : *state.intel_domains) {
+      all.push_back(domain);
+    }
+  }
+  const StringTable table = sorted_unique(std::move(all));
+
+  ContainerWriter writer;
+  writer.add_section(SectionId::StringTable,
+                     encode_string_table(table, n_threads));
+  writer.add_section(SectionId::Config, encode_config_section(*state.config));
+  writer.add_section(
+      SectionId::DomainHistory,
+      encode_domain_history_section(*state.domain_history, table));
+  writer.add_section(SectionId::UaHistory,
+                     encode_ua_history_section(*state.ua_history, table));
+  if (state.top_sites != nullptr) {
+    writer.add_section(
+        SectionId::TopSites,
+        encode_string_set_section(top_site_views(*state.top_sites), table));
+  }
+  writer.add_section(SectionId::CcModel, encode_model_section(*state.cc_model));
+  writer.add_section(SectionId::SimModel,
+                     encode_model_section(*state.sim_model));
+  writer.add_section(SectionId::TrainingStats,
+                     encode_training_section(state.training));
+  if (has_intel) {
+    std::vector<std::string_view> intel(state.intel_domains->begin(),
+                                        state.intel_domains->end());
+    writer.add_section(SectionId::Intel,
+                       encode_string_set_section(std::move(intel), table));
+  }
+  writer.add_section(SectionId::Counters,
+                     encode_counters_section(state.counters));
+  return writer.encode();
+}
+
+std::optional<DetectorState> decode_detector_state(std::string_view bytes,
+                                                   LoadStatus* status) {
+  DecodedTable table;
+  const auto reader = open_container(bytes, table, status);
+  if (!reader) return std::nullopt;
+
+  DetectorState state;
+  const Section* config =
+      require_section(*reader, SectionId::Config, "config", status);
+  const Section* domains =
+      require_section(*reader, SectionId::DomainHistory, "domain history", status);
+  const Section* uas =
+      require_section(*reader, SectionId::UaHistory, "ua history", status);
+  const Section* cc = require_section(*reader, SectionId::CcModel,
+                                      "c&c model", status);
+  const Section* sim = require_section(*reader, SectionId::SimModel,
+                                       "similarity model", status);
+  const Section* training = require_section(*reader, SectionId::TrainingStats,
+                                            "training stats", status);
+  const Section* counters =
+      require_section(*reader, SectionId::Counters, "counters", status);
+  if (config == nullptr || domains == nullptr || uas == nullptr ||
+      cc == nullptr || sim == nullptr || training == nullptr ||
+      counters == nullptr) {
+    return std::nullopt;
+  }
+  if (!decode_config_section(config->payload, state.config, status)) {
+    return std::nullopt;
+  }
+  if (!decode_domain_history_section(domains->payload, table,
+                                     state.domain_history, status)) {
+    return std::nullopt;
+  }
+  std::optional<profile::UaHistory> ua_history;
+  if (!decode_ua_history_section(uas->payload, table, ua_history, status)) {
+    return std::nullopt;
+  }
+  state.ua_history = std::move(*ua_history);
+  if (const Section* sites = reader->find(SectionId::TopSites)) {
+    std::vector<std::string> names;
+    if (!decode_string_set_section(sites->payload, table, "top sites", names,
+                                   status)) {
+      return std::nullopt;
+    }
+    for (const std::string& name : names) state.top_sites.add(name);
+    state.has_top_sites = true;
+  }
+  if (!decode_model_section(cc->payload, "c&c model", state.cc_model, status) ||
+      !decode_model_section(sim->payload, "similarity model", state.sim_model,
+                            status) ||
+      !decode_training_section(training->payload, state.training, status) ||
+      !decode_counters_section(counters->payload, state.counters, status)) {
+    return std::nullopt;
+  }
+  if (const Section* intel = reader->find(SectionId::Intel)) {
+    if (!decode_string_set_section(intel->payload, table, "intel",
+                                   state.intel_domains, status)) {
+      return std::nullopt;
+    }
+  }
+  return state;
+}
+
+bool save_detector_state(const DetectorStateView& state,
+                         const std::filesystem::path& path,
+                         std::size_t n_threads, LoadStatus* status) {
+  return write_file_atomic(path, encode_detector_state(state, n_threads),
+                           status);
+}
+
+std::optional<DetectorState> load_detector_state(
+    const std::filesystem::path& path, LoadStatus* status) {
+  const auto bytes = read_file(path, status);
+  if (!bytes) return std::nullopt;
+  return decode_detector_state(*bytes, status);
+}
+
+// ---- Per-component files ----
+
+bool save_domain_history(const profile::DomainHistory& history,
+                         const std::filesystem::path& path,
+                         std::size_t n_threads, LoadStatus* status) {
+  const StringTable table = sorted_unique(domain_views(history));
+  ContainerWriter writer;
+  writer.add_section(SectionId::StringTable,
+                     encode_string_table(table, n_threads));
+  writer.add_section(SectionId::DomainHistory,
+                     encode_domain_history_section(history, table));
+  return save_container(writer, path, status);
+}
+
+std::optional<profile::DomainHistory> decode_domain_history(
+    std::string_view bytes, LoadStatus* status) {
+  DecodedTable table;
+  const auto reader = open_container(bytes, table, status);
+  if (!reader) return std::nullopt;
+  const Section* section =
+      require_section(*reader, SectionId::DomainHistory, "domain history", status);
+  if (section == nullptr) return std::nullopt;
+  profile::DomainHistory history;
+  if (!decode_domain_history_section(section->payload, table, history, status)) {
+    return std::nullopt;
+  }
+  return history;
+}
+
+std::optional<profile::DomainHistory> load_domain_history(
+    const std::filesystem::path& path, LoadStatus* status) {
+  const auto bytes = read_file(path, status);
+  if (!bytes) return std::nullopt;
+  return decode_domain_history(*bytes, status);
+}
+
+bool save_ua_history(const profile::UaHistory& history,
+                     const std::filesystem::path& path, std::size_t n_threads,
+                     LoadStatus* status) {
+  const StringTable table = sorted_unique(ua_views(history));
+  ContainerWriter writer;
+  writer.add_section(SectionId::StringTable,
+                     encode_string_table(table, n_threads));
+  writer.add_section(SectionId::UaHistory,
+                     encode_ua_history_section(history, table));
+  return save_container(writer, path, status);
+}
+
+std::optional<profile::UaHistory> decode_ua_history(std::string_view bytes,
+                                                    LoadStatus* status) {
+  DecodedTable table;
+  const auto reader = open_container(bytes, table, status);
+  if (!reader) return std::nullopt;
+  const Section* section =
+      require_section(*reader, SectionId::UaHistory, "ua history", status);
+  if (section == nullptr) return std::nullopt;
+  std::optional<profile::UaHistory> history;
+  if (!decode_ua_history_section(section->payload, table, history, status)) {
+    return std::nullopt;
+  }
+  return history;
+}
+
+std::optional<profile::UaHistory> load_ua_history(
+    const std::filesystem::path& path, LoadStatus* status) {
+  const auto bytes = read_file(path, status);
+  if (!bytes) return std::nullopt;
+  return decode_ua_history(*bytes, status);
+}
+
+bool save_top_sites(const profile::TopSitesList& sites,
+                    const std::filesystem::path& path, std::size_t n_threads,
+                    LoadStatus* status) {
+  const StringTable table = sorted_unique(top_site_views(sites));
+  ContainerWriter writer;
+  writer.add_section(SectionId::StringTable,
+                     encode_string_table(table, n_threads));
+  writer.add_section(SectionId::TopSites,
+                     encode_string_set_section(top_site_views(sites), table));
+  return save_container(writer, path, status);
+}
+
+std::optional<profile::TopSitesList> load_top_sites(
+    const std::filesystem::path& path, LoadStatus* status) {
+  const auto bytes = read_file(path, status);
+  if (!bytes) return std::nullopt;
+  DecodedTable table;
+  const auto reader = open_container(*bytes, table, status);
+  if (!reader) return std::nullopt;
+  const Section* section =
+      require_section(*reader, SectionId::TopSites, "top sites", status);
+  if (section == nullptr) return std::nullopt;
+  std::vector<std::string> names;
+  if (!decode_string_set_section(section->payload, table, "top sites", names,
+                                 status)) {
+    return std::nullopt;
+  }
+  profile::TopSitesList sites;
+  for (const std::string& name : names) sites.add(name);
+  return sites;
+}
+
+bool save_scored_model(const core::ScoredModel& model,
+                       const std::filesystem::path& path, LoadStatus* status) {
+  ContainerWriter writer;
+  writer.add_section(SectionId::StringTable, encode_string_table({}, 1));
+  writer.add_section(SectionId::CcModel, encode_model_section(model));
+  return save_container(writer, path, status);
+}
+
+std::optional<core::ScoredModel> load_scored_model(
+    const std::filesystem::path& path, LoadStatus* status) {
+  const auto bytes = read_file(path, status);
+  if (!bytes) return std::nullopt;
+  DecodedTable table;
+  const auto reader = open_container(*bytes, table, status);
+  if (!reader) return std::nullopt;
+  const Section* section = reader->find(SectionId::CcModel);
+  if (section == nullptr) section = reader->find(SectionId::SimModel);
+  if (section == nullptr) {
+    set_status(status, LoadError::MissingSection, "model section missing");
+    return std::nullopt;
+  }
+  core::ScoredModel model;
+  if (!decode_model_section(section->payload, "model", model, status)) {
+    return std::nullopt;
+  }
+  return model;
+}
+
+}  // namespace eid::storage

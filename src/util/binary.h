@@ -1,0 +1,155 @@
+// Little-endian binary encoding primitives for the storage container
+// format: LEB128 varints (counts and string-table ids are small, so they
+// mostly fit one byte), fixed-width integers, and bit-exact doubles
+// (bit_cast through u64, so model weights round-trip exactly — the
+// checkpoint contract is bit-identical restored reports). ByteWriter
+// appends to a growable buffer; ByteReader is a bounds-checked cursor over
+// caller-owned bytes that turns every truncation into a clean `false`
+// instead of undefined behavior on corrupt input.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace eid::util {
+
+/// Append-only encoder. All integers little-endian, varints LEB128.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t value) { buffer_.push_back(static_cast<char>(value)); }
+
+  void u32le(std::uint32_t value) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+
+  void u64le(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+
+  /// Unsigned LEB128: 7 value bits per byte, high bit = continuation.
+  void varint(std::uint64_t value) {
+    while (value >= 0x80) {
+      u8(static_cast<std::uint8_t>(value) | 0x80u);
+      value >>= 7;
+    }
+    u8(static_cast<std::uint8_t>(value));
+  }
+
+  /// Bit-exact double (IEEE-754 bits through u64le).
+  void f64(double value) { u64le(std::bit_cast<std::uint64_t>(value)); }
+
+  void bytes(std::string_view data) { buffer_.append(data); }
+
+  /// Length-prefixed string: varint size + raw bytes.
+  void str(std::string_view text) {
+    varint(text.size());
+    bytes(text);
+  }
+
+  std::size_t size() const { return buffer_.size(); }
+  const std::string& data() const { return buffer_; }
+  std::string take() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Bounds-checked decoder over caller-owned bytes. Every accessor returns
+/// false (and consumes nothing further) on truncated input; once a read
+/// fails, ok() stays false.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool u8(std::uint8_t& out) {
+    if (!need(1)) return false;
+    out = static_cast<std::uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  bool u32le(std::uint32_t& out) {
+    if (!need(4)) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<std::uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool u64le(std::uint64_t& out) {
+    if (!need(8)) return false;
+    out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<std::uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  bool varint(std::uint64_t& out) {
+    out = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      std::uint8_t byte = 0;
+      if (!u8(byte)) return false;
+      out |= static_cast<std::uint64_t>(byte & 0x7fu) << shift;
+      if ((byte & 0x80u) == 0) {
+        // Reject non-canonical 10-byte encodings that would overflow.
+        if (shift == 63 && byte > 1) return fail();
+        return true;
+      }
+    }
+    return fail();  // continuation bit set past 64 value bits
+  }
+
+  bool f64(double& out) {
+    std::uint64_t bits = 0;
+    if (!u64le(bits)) return false;
+    out = std::bit_cast<double>(bits);
+    return true;
+  }
+
+  /// View of the next `n` raw bytes (no copy; valid while the underlying
+  /// buffer lives).
+  bool bytes(std::size_t n, std::string_view& out) {
+    if (!need(n)) return false;
+    out = data_.substr(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  /// Length-prefixed string as a view into the underlying buffer.
+  bool str(std::string_view& out) {
+    std::uint64_t size = 0;
+    if (!varint(size)) return false;
+    if (size > remaining()) return fail();
+    return bytes(static_cast<std::size_t>(size), out);
+  }
+
+  bool skip(std::size_t n) {
+    if (!need(n)) return false;
+    pos_ += n;
+    return true;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool at_end() const { return pos_ == data_.size(); }
+  bool ok() const { return ok_; }
+
+ private:
+  bool need(std::size_t n) { return remaining() >= n ? true : fail(); }
+  bool fail() {
+    ok_ = false;
+    return false;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace eid::util

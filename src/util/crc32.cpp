@@ -1,0 +1,67 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace eid::util {
+namespace {
+
+constexpr std::uint32_t kPolynomial = 0xEDB88320u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? kPolynomial ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+// Slicing-by-8 extension tables: kSlice[k][b] advances a CRC by byte b
+// seen (7 - k) positions ahead, letting the hot loop fold 8 input bytes
+// per iteration. Month-scale checkpoints checksum megabytes per section,
+// so the byte-at-a-time loop would show up in every daily save/load.
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_slices() {
+  std::array<std::array<std::uint32_t, 256>, 8> slices{};
+  slices[0] = make_table();
+  for (std::uint32_t b = 0; b < 256; ++b) {
+    std::uint32_t c = slices[0][b];
+    for (std::size_t k = 1; k < 8; ++k) {
+      c = slices[0][c & 0xffu] ^ (c >> 8);
+      slices[k][b] = c;
+    }
+  }
+  return slices;
+}
+
+constexpr std::array<std::array<std::uint32_t, 256>, 8> kSlices = make_slices();
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data, std::uint32_t crc) {
+  crc = ~crc;
+  const auto* p = reinterpret_cast<const unsigned char*>(data.data());
+  std::size_t n = data.size();
+  while (n >= 8) {
+    const std::uint32_t lo = crc ^ (static_cast<std::uint32_t>(p[0]) |
+                                    static_cast<std::uint32_t>(p[1]) << 8 |
+                                    static_cast<std::uint32_t>(p[2]) << 16 |
+                                    static_cast<std::uint32_t>(p[3]) << 24);
+    crc = kSlices[7][lo & 0xffu] ^ kSlices[6][(lo >> 8) & 0xffu] ^
+          kSlices[5][(lo >> 16) & 0xffu] ^ kSlices[4][lo >> 24] ^
+          kSlices[3][p[4]] ^ kSlices[2][p[5]] ^ kSlices[1][p[6]] ^
+          kSlices[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  for (; n > 0; ++p, --n) {
+    crc = kTable[(crc ^ *p) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace eid::util

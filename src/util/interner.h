@@ -85,6 +85,12 @@ class Interner {
 
   std::size_t size() const { return names_.size(); }
 
+  /// Pre-size for n strings (bulk restore paths).
+  void reserve(std::size_t n) {
+    ids_.reserve(n);
+    names_.reserve(n);
+  }
+
  private:
   void rebuild_names() {
     names_.assign(ids_.size(), nullptr);

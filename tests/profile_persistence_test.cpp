@@ -54,6 +54,96 @@ TEST_F(PersistenceTest, DomainHistoryRejectsBadMagic) {
   EXPECT_FALSE(load_domain_history(dir_ / "missing.hist").has_value());
 }
 
+TEST_F(PersistenceTest, LoadersReportFailureReasons) {
+  storage::LoadStatus status;
+  EXPECT_FALSE(load_domain_history(dir_ / "missing.hist", &status).has_value());
+  EXPECT_EQ(status.error, storage::LoadError::FileNotFound);
+
+  const auto bad_magic = dir_ / "magic.hist";
+  {
+    std::ofstream out(bad_magic);
+    out << "some other file\n";
+  }
+  EXPECT_FALSE(load_domain_history(bad_magic, &status).has_value());
+  EXPECT_EQ(status.error, storage::LoadError::BadMagic);
+
+  const auto bad_header = dir_ / "header.hist";
+  {
+    std::ofstream out(bad_header);
+    out << "eid-domain-history 1\ndays x\n";
+  }
+  EXPECT_FALSE(load_domain_history(bad_header, &status).has_value());
+  EXPECT_EQ(status.error, storage::LoadError::Malformed);
+  EXPECT_NE(status.detail.find("line 2"), std::string::npos) << status.detail;
+
+  const auto no_header = dir_ / "cut.hist";
+  {
+    std::ofstream out(no_header);
+    out << "eid-ua-history 1\n";
+  }
+  EXPECT_FALSE(load_ua_history(no_header, &status).has_value());
+  EXPECT_EQ(status.error, storage::LoadError::Truncated);
+}
+
+TEST_F(PersistenceTest, CrlfFilesLoadIdentically) {
+  // A profile written on (or round-tripped through) a Windows collector
+  // gains \r\n endings; the loader must strip them, not fold \r into data.
+  const auto dom_path = dir_ / "crlf-dom.hist";
+  {
+    std::ofstream out(dom_path, std::ios::binary);
+    out << "eid-domain-history 1\r\ndays 2\r\na.com\r\nb.com\r\n";
+  }
+  storage::LoadStatus status;
+  const auto domains = load_domain_history(dom_path, &status);
+  ASSERT_TRUE(domains.has_value()) << status.detail;
+  EXPECT_EQ(domains->size(), 2u);
+  EXPECT_EQ(domains->days_ingested(), 2u);
+  EXPECT_FALSE(domains->is_new("a.com"));  // no trailing-\r ghost entries
+
+  const auto ua_path = dir_ / "crlf-ua.hist";
+  {
+    std::ofstream out(ua_path, std::ios::binary);
+    out << "eid-ua-history 1\r\nthreshold 2\r\nP\tCommon/1.0\r\n"
+           "R\tRare/1.0\th1\r\n";
+  }
+  const auto uas = load_ua_history(ua_path, &status);
+  ASSERT_TRUE(uas.has_value()) << status.detail;
+  EXPECT_FALSE(uas->is_rare("Common/1.0"));
+  EXPECT_EQ(uas->host_count("Rare/1.0"), 1u);  // host is "h1", not "h1\r"
+}
+
+TEST_F(PersistenceTest, OverThresholdRareEntryNormalizesToPopular) {
+  // An R line listing >= threshold hosts (hand-edited or from an older
+  // tool) restores as popular — the invariant observe() enforces — so the
+  // entry survives a further save/load round trip in any format.
+  const auto path = dir_ / "over.hist";
+  {
+    std::ofstream out(path);
+    out << "eid-ua-history 1\nthreshold 3\nR\tBig/1.0\th1\th2\th3\th4\n";
+  }
+  const auto loaded = load_ua_history(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_FALSE(loaded->is_rare("Big/1.0"));
+  EXPECT_EQ(loaded->host_count("Big/1.0"), 3u);  // saturated at threshold
+  ASSERT_TRUE(save_ua_history(*loaded, path));
+  const auto reloaded = load_ua_history(path);
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_FALSE(reloaded->is_rare("Big/1.0"));
+}
+
+TEST_F(PersistenceTest, MalformedTrailingDataIsRejectedNotSwallowed) {
+  const auto path = dir_ / "trailing.hist";
+  {
+    std::ofstream out(path);
+    out << "eid-domain-history 1\ndays 1\nok.com\n"
+        << "some trailing garbage with spaces\n";
+  }
+  storage::LoadStatus status;
+  EXPECT_FALSE(load_domain_history(path, &status).has_value());
+  EXPECT_EQ(status.error, storage::LoadError::Malformed);
+  EXPECT_NE(status.detail.find("line 4"), std::string::npos) << status.detail;
+}
+
 TEST_F(PersistenceTest, UaHistoryRoundTripPreservesRarity) {
   UaHistory history(3);
   history.observe("Popular/1.0", "h1");

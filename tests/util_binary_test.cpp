@@ -1,0 +1,141 @@
+#include "util/binary.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "util/crc32.h"
+
+namespace eid::util {
+namespace {
+
+TEST(ByteWriterTest, FixedWidthLittleEndian) {
+  ByteWriter out;
+  out.u8(0xab);
+  out.u32le(0x01020304u);
+  out.u64le(0x1122334455667788ull);
+  const std::string& bytes = out.data();
+  ASSERT_EQ(bytes.size(), 13u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[0]), 0xab);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[1]), 0x04);  // LE low byte first
+  EXPECT_EQ(static_cast<unsigned char>(bytes[4]), 0x01);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[5]), 0x88);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[12]), 0x11);
+}
+
+TEST(ByteWriterTest, VarintBoundaries) {
+  const std::uint64_t cases[] = {0,
+                                 1,
+                                 127,
+                                 128,
+                                 16383,
+                                 16384,
+                                 0xffffffffull,
+                                 std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t value : cases) {
+    ByteWriter out;
+    out.varint(value);
+    ByteReader in(out.data());
+    std::uint64_t decoded = 0;
+    ASSERT_TRUE(in.varint(decoded)) << value;
+    EXPECT_EQ(decoded, value);
+    EXPECT_TRUE(in.at_end());
+  }
+  // One byte for 7 bits, two for 14, ten for the full 64.
+  ByteWriter small;
+  small.varint(127);
+  EXPECT_EQ(small.size(), 1u);
+  ByteWriter two;
+  two.varint(128);
+  EXPECT_EQ(two.size(), 2u);
+  ByteWriter max;
+  max.varint(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(max.size(), 10u);
+}
+
+TEST(ByteReaderTest, TruncatedVarintFails) {
+  ByteReader in(std::string_view("\x80\x80", 2));  // continuation, then EOF
+  std::uint64_t value = 0;
+  EXPECT_FALSE(in.varint(value));
+  EXPECT_FALSE(in.ok());
+}
+
+TEST(ByteReaderTest, OverlongVarintFails) {
+  // 11 continuation bytes: more than 64 bits of payload.
+  const std::string bytes(11, '\x80');
+  ByteReader in(bytes);
+  std::uint64_t value = 0;
+  EXPECT_FALSE(in.varint(value));
+}
+
+TEST(ByteReaderTest, DoubleRoundTripsExactly) {
+  const double cases[] = {0.0,
+                          -0.0,
+                          1.5,
+                          -1e-300,
+                          0.1,
+                          std::numeric_limits<double>::infinity(),
+                          std::numeric_limits<double>::denorm_min()};
+  for (const double value : cases) {
+    ByteWriter out;
+    out.f64(value);
+    ByteReader in(out.data());
+    double decoded = 0.0;
+    ASSERT_TRUE(in.f64(decoded));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded),
+              std::bit_cast<std::uint64_t>(value));
+  }
+}
+
+TEST(ByteReaderTest, StringViewsAndBounds) {
+  ByteWriter out;
+  out.str("hello");
+  out.str("");
+  ByteReader in(out.data());
+  std::string_view a;
+  std::string_view b;
+  ASSERT_TRUE(in.str(a));
+  ASSERT_TRUE(in.str(b));
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_TRUE(in.at_end());
+  std::string_view c;
+  EXPECT_FALSE(in.str(c));  // exhausted
+}
+
+TEST(ByteReaderTest, LengthBeyondBufferFails) {
+  ByteWriter out;
+  out.varint(100);  // claims 100 bytes follow
+  out.bytes("abc");
+  ByteReader in(out.data());
+  std::string_view text;
+  EXPECT_FALSE(in.str(text));
+}
+
+TEST(Crc32Test, KnownVector) {
+  // The canonical CRC-32 check value.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data =
+      "a moderately long buffer that spans several slicing blocks........";
+  for (std::size_t split = 0; split <= data.size(); split += 7) {
+    const std::uint32_t a = crc32(data);
+    const std::uint32_t b = crc32(std::string_view(data).substr(split),
+                                  crc32(std::string_view(data).substr(0, split)));
+    EXPECT_EQ(a, b) << split;
+  }
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data(1024, 'x');
+  const std::uint32_t clean = crc32(data);
+  data[512] = static_cast<char>(data[512] ^ 0x10);
+  EXPECT_NE(crc32(data), clean);
+}
+
+}  // namespace
+}  // namespace eid::util
