@@ -14,13 +14,24 @@
 // every completed day via the storage subsystem, and an existing
 // checkpoint is restored on startup (skipping retraining when the saved
 // models are ready) — kill the process mid-month and restart it to resume.
+//
+// --follow <path> switches to real-time continuous mode after training:
+// instead of walking simulated operation days, the monitor tails <path>
+// (a growing DNS-flavor TSV log) through the rt::ContinuousEngine,
+// re-scoring a sliding window every --tick seconds and printing
+// provisional incidents live as they cross the detection thresholds —
+// with the authoritative (batch-identical) day report at day close.
 #include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "api/sources.h"
 #include "eval/ac_runner.h"
+#include "rt/engine.h"
 #include "storage/state.h"
 
 namespace {
@@ -38,8 +49,41 @@ void print_usage(const char* argv0) {
       "  shards   ingest shards (default 1, >= 1)\n"
       "  --state <path>  checkpoint the detector to <path> after each day\n"
       "                  and restore from it on startup when present\n"
+      "\n"
+      "real-time continuous mode (replaces the simulated day walk):\n"
+      "  --follow <path>     tail a growing DNS-flavor TSV log live\n"
+      "  --follow-day <day>  day tag for the tailed file (util::Day number;\n"
+      "                      default: first operation day)\n"
+      "  --tick <seconds>    micro-batch tick size (default 300; must tile\n"
+      "                      the 86400 s day)\n"
+      "  --rt-window <sec>   sliding evidence window (default 86400; whole\n"
+      "                      number of ticks)\n"
+      "  --idle-exit <n>     exit after n consecutive empty polls\n"
+      "                      (default 0 = follow forever)\n"
+      "  --poll-ms <ms>      sleep between empty polls (default 200)\n"
       "  --help   this message\n",
       argv0);
+}
+
+/// Sim-time point as "YYYY-MM-DD hh:mm:ss" for live emission lines.
+std::string format_time(util::TimePoint t) {
+  const util::Day day = util::day_of(t);
+  const std::int64_t s = t - util::day_start(day);
+  char clock[16];
+  std::snprintf(clock, sizeof(clock), " %02lld:%02lld:%02lld",
+                static_cast<long long>(s / 3600),
+                static_cast<long long>((s / 60) % 60),
+                static_cast<long long>(s % 60));
+  return util::format_day(day) + clock;
+}
+
+std::string join(const std::vector<std::string>& parts) {
+  std::string out;
+  for (const auto& part : parts) {
+    if (!out.empty()) out += ", ";
+    out += part;
+  }
+  return out;
 }
 
 bool parse_int_arg(const char* text, int min_value, int& out) {
@@ -64,6 +108,12 @@ int main(int argc, char** argv) {
   int threads = 1;
   int shards = 1;
   std::string state_path;
+  std::string follow_path;
+  int follow_day = 0;  // 0 = default to the first operation day
+  int tick_seconds = 300;
+  int window_seconds = 86400;
+  int idle_exit = 0;
+  int poll_ms = 200;
 
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
@@ -79,6 +129,34 @@ int main(int argc, char** argv) {
         return 1;
       }
       state_path = argv[++i];
+      continue;
+    }
+    if (std::strcmp(arg, "--follow") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --follow needs a path\n");
+        print_usage(argv[0]);
+        return 1;
+      }
+      follow_path = argv[++i];
+      continue;
+    }
+    const auto int_flag = [&](const char* name, int min_value,
+                              int& out) -> int {
+      if (std::strcmp(arg, name) != 0) return 0;  // not this flag
+      if (i + 1 >= argc || !parse_int_arg(argv[++i], min_value, out)) {
+        std::fprintf(stderr, "error: %s needs an integer >= %d\n", name,
+                     min_value);
+        return -1;
+      }
+      return 1;
+    };
+    int matched = 0;
+    if ((matched = int_flag("--follow-day", 1, follow_day)) != 0 ||
+        (matched = int_flag("--tick", 1, tick_seconds)) != 0 ||
+        (matched = int_flag("--rt-window", 1, window_seconds)) != 0 ||
+        (matched = int_flag("--idle-exit", 1, idle_exit)) != 0 ||
+        (matched = int_flag("--poll-ms", 1, poll_ms)) != 0) {
+      if (matched < 0) return 1;
       continue;
     }
     bool ok = true;
@@ -169,6 +247,81 @@ int main(int argc, char** argv) {
   seeds.domains = scenario.ioc_seeds();
   detector.set_intel_domains(seeds.domains);
   std::printf("SOC IOC list: %zu domains\n", seeds.domains.size());
+
+  if (!follow_path.empty()) {
+    // Real-time continuous mode: tail the growing TSV through the
+    // sliding-window engine. Sim time is driven by the event stream
+    // (ReplayClock), so a replayed file runs at hardware speed and a live
+    // tail ticks as its collector writes.
+    rt::EngineConfig engine_config;
+    engine_config.window.tick_seconds = tick_seconds;
+    engine_config.window.window_seconds = window_seconds;
+    engine_config.seeds = seeds;
+    if (!engine_config.window.valid()) {
+      std::fprintf(stderr,
+                   "error: tick=%ds window=%ds invalid (tick must tile the "
+                   "86400 s day; window a whole number of ticks)\n",
+                   tick_seconds, window_seconds);
+      return 1;
+    }
+    const util::Day day =
+        follow_day > 0 ? follow_day : scenario.operation_begin();
+
+    api::TsvFileSource source(follow_path, day, logs::DnsReductionConfig{});
+    source.set_tail(true);
+    rt::ReplayClock clock;
+    rt::ContinuousEngine engine(detector, clock, engine_config);
+    engine.set_emission_sink([](const rt::IncidentEmission& emission) {
+      std::printf("[%s] %s incident #%d (%s): latency %llds  domains=[%s]"
+                  "  hosts=[%s]\n",
+                  format_time(emission.emission_time).c_str(),
+                  emission.provisional ? "PROVISIONAL" : "FINAL",
+                  emission.incident_id,
+                  emission.new_incident ? "new" : "grew",
+                  static_cast<long long>(emission.latency_seconds),
+                  join(emission.domains).c_str(), join(emission.hosts).c_str());
+      std::fflush(stdout);
+    });
+    engine.set_day_sink([](const core::DayReport& report) {
+      std::printf("[%s] day closed: events=%zu cc=%zu nohint=%zu "
+                  "sochints=%zu (authoritative report, bit-identical to "
+                  "batch run_day)\n",
+                  util::format_day(report.day).c_str(), report.events,
+                  report.cc_domains.size(), report.nohint.domains.size(),
+                  report.sochints.domains.size());
+      std::fflush(stdout);
+    });
+
+    std::printf("following %s (day %s, tick %ds, window %ds)...\n",
+                follow_path.c_str(), util::format_day(day).c_str(),
+                tick_seconds, window_seconds);
+    int idle = 0;
+    while (idle_exit == 0 || idle < idle_exit) {
+      if (engine.poll(source) == 0) {
+        ++idle;
+        std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+      } else {
+        idle = 0;
+      }
+    }
+    engine.finish();
+    const rt::EngineStats& stats = engine.stats();
+    std::printf("\nfollow stats: %zu events in %zu chunks, %zu ticks closed "
+                "(%zu evaluated), %zu day(s) closed, %zu provisional + %zu "
+                "finalized emission(s), peak buffer %zu events "
+                "(cursor at byte %llu)\n",
+                stats.events, stats.chunks, stats.ticks_closed,
+                stats.evaluations, stats.days_closed,
+                stats.provisional_emissions, stats.finalized_emissions,
+                stats.peak_buffered_events,
+                static_cast<unsigned long long>(source.stats().byte_offset));
+    if (!state_path.empty()) {
+      if (detector.save_state(state_path)) {
+        std::printf("[checkpoint] state saved to %s\n", state_path.c_str());
+      }
+    }
+    return 0;
+  }
 
   // Resume where the checkpoint stopped: days the restored detector already
   // completed are not re-ingested (re-running them would double-count the

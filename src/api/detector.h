@@ -30,6 +30,13 @@ namespace eid::storage {
 struct DetectorState;
 }
 
+namespace eid::rt {
+class ContinuousEngine;
+class SimClock;
+struct EngineConfig;
+struct ContinuousReport;
+}
+
 namespace eid::api {
 
 /// Aggregate counters for one ingest() call.
@@ -108,6 +115,17 @@ class Detector {
     pipeline_.update_histories(analysis.graph);
   }
 
+  /// Continuous operation (rt/engine.h): replay the source through a
+  /// sliding-window micro-batch engine that emits provisional incidents at
+  /// sub-day latency and closes each day with a DayReport bit-identical to
+  /// run_day on the same stream. Day boundaries come from the chunk tags,
+  /// like ingest(). Sim time is driven by `clock`; nullptr uses a
+  /// ReplayClock (sim time = high-water mark of event timestamps).
+  /// Defined in rt/engine.cpp.
+  rt::ContinuousReport run_continuous(EventSource& source,
+                                      const rt::EngineConfig& config,
+                                      rt::SimClock* clock = nullptr);
+
   // ---- Checkpoint/restore (storage/state.h) ----
 
   /// Snapshot everything the detector has accumulated — histories, trained
@@ -141,6 +159,11 @@ class Detector {
   const core::Pipeline& pipeline() const { return pipeline_; }
 
  private:
+  /// The continuous engine drives the same day-close bookkeeping run_day
+  /// owns (days_operated_), so day-N checkpoints mean the same thing in
+  /// both modes.
+  friend class rt::ContinuousEngine;
+
   core::Pipeline pipeline_;
   std::unique_ptr<profile::TopSitesList> owned_top_sites_;
   std::vector<std::string> intel_domains_;

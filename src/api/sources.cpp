@@ -40,6 +40,20 @@ void TsvFileSource::open() {
 }
 
 std::optional<EventChunk> TsvFileSource::next_chunk() {
+  if (tail_) {
+    // The file may not exist yet (collector not started): retry the open.
+    if (!stats_.opened) {
+      file_.close();
+      file_.clear();
+      open();
+      if (!stats_.opened) return std::nullopt;
+    }
+    // Clear a previous pass's eof and resume at the last complete line.
+    // A partially written trailing line left there is re-read whole once
+    // its newline lands.
+    file_.clear();
+    file_.seekg(static_cast<std::streamoff>(stats_.byte_offset));
+  }
   std::string line;
   // A chunk of records can reduce to zero events (all dropped); keep
   // reading until something survives or the file is exhausted.
@@ -48,6 +62,15 @@ std::optional<EventChunk> TsvFileSource::next_chunk() {
     std::vector<logs::ProxyRecord> proxy_records;
     std::size_t parsed = 0;
     while (parsed < chunk_records_ && std::getline(file_, line)) {
+      if (file_.eof()) {
+        // Successful getline that hit eof = final line with no trailing
+        // newline. In tail mode it may still be mid-write: leave it (and
+        // the offset) for the next poll. Batch mode takes it as-is.
+        if (tail_) break;
+        stats_.byte_offset += line.size();
+      } else {
+        stats_.byte_offset += line.size() + 1;
+      }
       if (line.empty()) continue;
       ++stats_.lines;
       if (format_ == Format::Dns) {
@@ -79,7 +102,8 @@ std::optional<EventChunk> TsvFileSource::next_chunk() {
   }
   // Day-boundary marker: a readable file whose lines all reduced away is
   // still an (empty) day, exactly like the legacy read-then-profile loop.
-  if (stats_.opened && stats_.events == 0 && !empty_marker_sent_) {
+  // Not in tail mode — there the stream has no end, only "nothing yet".
+  if (!tail_ && stats_.opened && stats_.events == 0 && !empty_marker_sent_) {
     empty_marker_sent_ = true;
     return EventChunk{day_, {}};
   }

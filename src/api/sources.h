@@ -44,6 +44,10 @@ class TsvFileSource final : public EventSource {
     std::size_t parsed = 0;     ///< lines parsed into records
     std::size_t malformed = 0;  ///< std::nullopt from logs::parse_*
     std::size_t events = 0;     ///< reduced events handed out
+    /// Byte offset just past the last *complete* line consumed — the
+    /// resume point for tail mode, and an operator-visible progress
+    /// cursor for batch replay.
+    std::uint64_t byte_offset = 0;
     bool opened = false;
   };
 
@@ -60,6 +64,18 @@ class TsvFileSource final : public EventSource {
 
   std::optional<EventChunk> next_chunk() override;
   bool reset() override;
+
+  /// Tail a growing file (`enterprise_monitor --follow`). next_chunk()
+  /// then never reports end-of-stream as final: when the file is
+  /// exhausted it returns std::nullopt for *now*, and a later call
+  /// resumes at the last complete line's byte offset to pick up appended
+  /// data. A partially written trailing line (no newline yet) is left
+  /// untouched — not parsed, not counted malformed — until its newline
+  /// lands. A file that does not exist yet is retried on every call.
+  /// The day-boundary marker for an all-empty file is suppressed (a tail
+  /// never knows the day is over; the engine closes days from chunk tags
+  /// or finish()).
+  void set_tail(bool enabled) { tail_ = enabled; }
 
   const Stats& stats() const { return stats_; }
 
@@ -80,6 +96,7 @@ class TsvFileSource final : public EventSource {
   Stats stats_;
   std::vector<logs::ConnEvent> buffer_;
   bool empty_marker_sent_ = false;
+  bool tail_ = false;
 };
 
 /// Streams simulated enterprise traffic for [first, last], one day at a

@@ -15,10 +15,27 @@ bool Incident::overlaps(std::span<const std::string> other_domains,
   return false;
 }
 
+namespace {
+
+// Fold an evidence timestamp into a [first, last] span where 0 means
+// "unrecorded" on either side.
+void fold_evidence(util::TimePoint t, util::TimePoint& first,
+                   util::TimePoint& last) {
+  if (t == 0) return;
+  first = first == 0 ? t : std::min(first, t);
+  last = last == 0 ? t : std::max(last, t);
+}
+
+}  // namespace
+
 void IncidentStore::merge_into(Incident& target, Incident& source) {
   target.first_seen = std::min(target.first_seen, source.first_seen);
   target.last_seen = std::max(target.last_seen, source.last_seen);
   target.days_active += source.days_active;
+  fold_evidence(source.first_evidence, target.first_evidence,
+                target.last_evidence);
+  fold_evidence(source.last_evidence, target.first_evidence,
+                target.last_evidence);
   target.domains.insert(source.domains.begin(), source.domains.end());
   target.hosts.insert(source.hosts.begin(), source.hosts.end());
 }
@@ -31,6 +48,13 @@ void IncidentStore::index(const Incident& incident) {
 int IncidentStore::ingest_community(util::Day day,
                                     std::span<const std::string> domains,
                                     std::span<const std::string> hosts) {
+  return ingest_community(day, domains, hosts, /*evidence_time=*/0);
+}
+
+int IncidentStore::ingest_community(util::Day day,
+                                    std::span<const std::string> domains,
+                                    std::span<const std::string> hosts,
+                                    util::TimePoint evidence_time) {
   if (domains.empty() && hosts.empty()) return -1;
 
   // Collect every live incident this community touches.
@@ -72,11 +96,23 @@ int IncidentStore::ingest_community(util::Day day,
 
   target.last_seen = std::max(target.last_seen, day);
   target.first_seen = std::min(target.first_seen, day);
+  fold_evidence(evidence_time, target.first_evidence, target.last_evidence);
   ++target.days_active;
   target.domains.insert(domains.begin(), domains.end());
   target.hosts.insert(hosts.begin(), hosts.end());
   index(target);
   return target_id;
+}
+
+bool IncidentStore::touches(std::span<const std::string> domains,
+                            std::span<const std::string> hosts) const {
+  for (const auto& domain : domains) {
+    if (domain_index_.contains(domain)) return true;
+  }
+  for (const auto& host : hosts) {
+    if (host_index_.contains(host)) return true;
+  }
+  return false;
 }
 
 std::vector<Incident> IncidentStore::incidents() const {

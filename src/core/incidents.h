@@ -27,6 +27,11 @@ struct Incident {
   util::Day first_seen = 0;
   util::Day last_seen = 0;
   std::size_t days_active = 0;          ///< days on which it grew or recurred
+  /// Event-time span of the evidence behind the incident, when the caller
+  /// supplies it (the continuous engine does; day-batched callers that
+  /// only know the day leave it at 0 = unrecorded).
+  util::TimePoint first_evidence = 0;
+  util::TimePoint last_evidence = 0;
   std::set<std::string> domains;        ///< all detected domains so far
   std::set<std::string> hosts;          ///< all implicated hosts so far
 
@@ -43,6 +48,18 @@ class IncidentStore {
   /// empty community.
   int ingest_community(util::Day day, std::span<const std::string> domains,
                        std::span<const std::string> hosts);
+
+  /// Same, additionally recording the event time of the earliest evidence
+  /// behind this community (continuous mode's event-time → emission-time
+  /// latency bookkeeping). evidence_time == 0 means unrecorded.
+  int ingest_community(util::Day day, std::span<const std::string> domains,
+                       std::span<const std::string> hosts,
+                       util::TimePoint evidence_time);
+
+  /// Would this community merge into an existing incident (shares a domain
+  /// or host), or open a new one?
+  bool touches(std::span<const std::string> domains,
+               std::span<const std::string> hosts) const;
 
   /// All incidents, oldest first. Merged incidents keep the older id.
   std::vector<Incident> incidents() const;

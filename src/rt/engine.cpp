@@ -1,0 +1,270 @@
+#include "rt/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "graph/day_graph.h"
+
+namespace eid::rt {
+
+namespace {
+
+// Earliest first-contact timestamp of the named domains in the analyzed
+// graph — the event time of the evidence behind an emission. 0 when none
+// of the names appear (empty evidence).
+util::TimePoint earliest_contact(const core::DayAnalysis& analysis,
+                                 std::span<const std::string> names) {
+  util::TimePoint earliest = 0;
+  for (const auto& name : names) {
+    const graph::DomainId domain = analysis.graph.find_domain(name);
+    if (domain == graph::kNoId) continue;
+    for (const graph::HostId host : analysis.graph.domain_hosts(domain)) {
+      const auto contact = analysis.graph.first_contact(host, domain);
+      if (!contact) continue;
+      if (earliest == 0 || *contact < earliest) earliest = *contact;
+    }
+  }
+  return earliest;
+}
+
+}  // namespace
+
+LatencySummary summarize_latency(std::span<const IncidentEmission> emissions,
+                                 bool provisional_only) {
+  std::vector<double> latencies;
+  latencies.reserve(emissions.size());
+  for (const auto& emission : emissions) {
+    if (provisional_only && !emission.provisional) continue;
+    latencies.push_back(static_cast<double>(emission.latency_seconds));
+  }
+  LatencySummary summary;
+  summary.count = latencies.size();
+  if (latencies.empty()) return summary;
+  std::sort(latencies.begin(), latencies.end());
+  const auto rank = [&](double q) {
+    const double n = static_cast<double>(latencies.size());
+    const auto idx = static_cast<std::size_t>(
+        std::max(0.0, std::ceil(q * n) - 1.0));
+    return latencies[std::min(idx, latencies.size() - 1)];
+  };
+  summary.p50_seconds = rank(0.50);
+  summary.p99_seconds = rank(0.99);
+  summary.max_seconds = latencies.back();
+  return summary;
+}
+
+ContinuousEngine::ContinuousEngine(api::Detector& detector, SimClock& clock,
+                                   EngineConfig config)
+    : detector_(detector),
+      clock_(clock),
+      config_(std::move(config)),
+      window_(config_.window) {
+  assert(config_.window.valid());
+}
+
+std::size_t ContinuousEngine::poll(api::EventSource& source) {
+  std::size_t consumed = 0;
+  while (auto chunk = source.next_chunk()) {
+    ++stats_.chunks;
+    // Chunk day tags are non-decreasing and contiguous per day (the
+    // EventSource contract), so a tag change is the day boundary — the
+    // same trigger Detector::ingest uses.
+    if (open_day_ && *open_day_ != chunk->day) close_day();
+    if (!open_day_) open_day_ = chunk->day;
+    for (const logs::ConnEvent& event : chunk->events) {
+      clock_.observe(event.ts);
+      roll_to(config_.window.tick_of(clock_.now()));
+      window_.append(event, current_tick_, *open_day_);
+      dirty_ = true;
+      ++stats_.events;
+      ++consumed;
+    }
+    stats_.buffered_events = window_.buffered_events();
+    stats_.peak_buffered_events =
+        std::max(stats_.peak_buffered_events, stats_.buffered_events);
+  }
+  return consumed;
+}
+
+void ContinuousEngine::advance() {
+  roll_to(config_.window.tick_of(clock_.now()));
+}
+
+void ContinuousEngine::finish() {
+  if (open_day_) close_day();
+}
+
+ContinuousReport ContinuousEngine::run(api::EventSource& source) {
+  poll(source);
+  finish();
+  return take_report();
+}
+
+ContinuousReport ContinuousEngine::take_report() {
+  stats_.buffered_events = window_.buffered_events();
+  ContinuousReport report;
+  report.days = std::move(day_reports_);
+  report.emissions = std::move(emissions_);
+  report.stats = stats_;
+  day_reports_.clear();
+  emissions_.clear();
+  return report;
+}
+
+void ContinuousEngine::roll_to(std::int64_t tick) {
+  if (!have_tick_) {
+    have_tick_ = true;
+    current_tick_ = tick;
+    return;
+  }
+  // Sim time is monotonic, so ticks only close forward. Each boundary
+  // crossed gets its evaluation; after the first one clears the dirty
+  // flag, the rest of a long quiet gap is just expiry bookkeeping.
+  while (current_tick_ < tick) {
+    evaluate_tick(current_tick_);
+    ++current_tick_;
+  }
+}
+
+void ContinuousEngine::evaluate_tick(std::int64_t tick) {
+  ++stats_.ticks_closed;
+  stats_.expired_events += window_.expire(tick);
+  stats_.buffered_events = window_.buffered_events();
+  if (!dirty_) return;  // nothing new since the last evaluation
+  if (window_.window_events(tick) == 0) {
+    dirty_ = false;
+    return;
+  }
+  ++stats_.evaluations;
+
+  // Re-score the sliding window through the exact batch stages: replay the
+  // live buckets (arrival order) into a DayAccumulator, finalize, then C&C
+  // detection and (optionally) no-hint BP for community expansion.
+  core::Pipeline& pipeline = detector_.pipeline();
+  const util::TimePoint close = config_.window.tick_end(tick);
+  const util::Day day = util::day_of(close - 1);
+  core::DayAccumulator accumulator = pipeline.begin_day(day);
+  window_.for_each_window_chunk(
+      tick, [&accumulator](std::span<const logs::ConnEvent> events) {
+        accumulator.add_chunk(events);
+      });
+  const core::DayAnalysis analysis = pipeline.finish_day(std::move(accumulator));
+
+  const std::vector<core::ScoredDomain> cc = pipeline.detect_cc(analysis);
+  std::vector<std::string> domains;
+  domains.reserve(cc.size());
+  for (const auto& scored : cc) domains.push_back(scored.name);
+  std::vector<std::string> hosts;
+  if (config_.provisional_bp && !cc.empty()) {
+    const core::BpRunReport bp = pipeline.run_bp_nohint(analysis, cc);
+    for (const auto& detected : bp.domains) domains.push_back(detected.name);
+    hosts = bp.hosts;
+  }
+  emit(analysis, domains, hosts, /*provisional=*/true, close, day);
+  dirty_ = false;
+}
+
+void ContinuousEngine::close_day() {
+  assert(open_day_);
+  const util::Day day = *open_day_;
+  core::Pipeline& pipeline = detector_.pipeline();
+
+  // Replay the day's buckets in arrival order — the same event sequence
+  // the batch path would consume, so by the chunking-independence contract
+  // the report and history update are bit-identical to run_day.
+  core::DayAccumulator accumulator = pipeline.begin_day(day);
+  window_.for_each_day_chunk(
+      day, [&accumulator](std::span<const logs::ConnEvent> events) {
+        accumulator.add_chunk(events);
+      });
+  const core::DayAnalysis analysis = pipeline.finish_day(std::move(accumulator));
+  core::DayReport report = pipeline.report_day(analysis, config_.seeds);
+  pipeline.update_histories(analysis.graph);
+  ++detector_.days_operated_;
+  ++stats_.days_closed;
+
+  std::vector<std::string> domains;
+  for (const auto& scored : report.cc_domains) domains.push_back(scored.name);
+  for (const auto& detected : report.nohint.domains)
+    domains.push_back(detected.name);
+  for (const auto& detected : report.sochints.domains)
+    domains.push_back(detected.name);
+  std::set<std::string> host_set(report.nohint.hosts.begin(),
+                                 report.nohint.hosts.end());
+  host_set.insert(report.sochints.hosts.begin(), report.sochints.hosts.end());
+  const std::vector<std::string> hosts(host_set.begin(), host_set.end());
+  emit(analysis, domains, hosts, /*provisional=*/false,
+       util::day_start(day + 1), day);
+
+  window_.close_day(day);
+  if (day_sink_) day_sink_(report);
+  day_reports_.push_back(std::move(report));
+  open_day_.reset();
+  // Histories changed, so the next tick must re-score even if no new
+  // events arrive before it closes.
+  dirty_ = window_.buffered_events() > 0;
+}
+
+void ContinuousEngine::emit(const core::DayAnalysis& analysis,
+                            const std::vector<std::string>& domains,
+                            const std::vector<std::string>& hosts,
+                            bool provisional, util::TimePoint emission_time,
+                            util::Day day) {
+  if (domains.empty() && hosts.empty()) return;
+
+  std::vector<std::string> fresh;
+  for (const auto& name : domains) {
+    if (!emitted_domains_.contains(name)) fresh.push_back(name);
+  }
+  std::sort(fresh.begin(), fresh.end());
+  fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
+
+  // Provisional evaluations announce only novelty; re-detections of
+  // already-emitted domains wait for the authoritative day close, which
+  // always refreshes the incident store (campaign recurrence tracking).
+  if (provisional && fresh.empty()) return;
+
+  const util::TimePoint event_time =
+      earliest_contact(analysis, fresh.empty() ? domains : fresh);
+  const bool grew = incidents_.touches(domains, hosts);
+  const int incident_id =
+      incidents_.ingest_community(day, domains, hosts, event_time);
+  emitted_domains_.insert(fresh.begin(), fresh.end());
+  if (fresh.empty()) return;  // finalized refresh of a known incident
+
+  IncidentEmission emission;
+  emission.incident_id = incident_id;
+  emission.provisional = provisional;
+  emission.new_incident = !grew;
+  emission.day = day;
+  emission.event_time = event_time;
+  emission.emission_time = emission_time;
+  emission.latency_seconds =
+      event_time == 0 ? 0 : emission_time - event_time;
+  emission.domains = std::move(fresh);
+  emission.hosts = hosts;
+  if (provisional) {
+    ++stats_.provisional_emissions;
+  } else {
+    ++stats_.finalized_emissions;
+  }
+  if (emission_sink_) emission_sink_(emission);
+  emissions_.push_back(std::move(emission));
+}
+
+}  // namespace eid::rt
+
+namespace eid::api {
+
+rt::ContinuousReport Detector::run_continuous(EventSource& source,
+                                              const rt::EngineConfig& config,
+                                              rt::SimClock* clock) {
+  rt::ReplayClock replay;
+  rt::SimClock& driver = clock ? *clock : static_cast<rt::SimClock&>(replay);
+  rt::ContinuousEngine engine(*this, driver, config);
+  return engine.run(source);
+}
+
+}  // namespace eid::api

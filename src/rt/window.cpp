@@ -1,0 +1,56 @@
+#include "rt/window.h"
+
+#include <cassert>
+
+namespace eid::rt {
+
+void WindowAccumulator::append(const logs::ConnEvent& event, std::int64_t tick,
+                               util::Day day) {
+  assert(buckets_.empty() || tick >= buckets_.back().tick);
+  if (buckets_.empty() || buckets_.back().tick != tick ||
+      buckets_.back().day != day || buckets_.back().day_closed) {
+    Bucket bucket;
+    bucket.tick = tick;
+    bucket.day = day;
+    buckets_.push_back(std::move(bucket));
+  }
+  buckets_.back().events.push_back(event);
+  ++buffered_events_;
+}
+
+void WindowAccumulator::close_day(util::Day day) {
+  for (Bucket& bucket : buckets_) {
+    if (bucket.day == day) bucket.day_closed = true;
+  }
+}
+
+std::size_t WindowAccumulator::expire(std::int64_t tick) {
+  const std::int64_t first_live = tick - config_.window_ticks() + 1;
+  std::size_t dropped = 0;
+  // Buckets are tick-ordered, but an expired-by-tick bucket whose day is
+  // still open must survive, so scan past it rather than stopping.
+  while (!buckets_.empty()) {
+    const Bucket& front = buckets_.front();
+    if (front.tick >= first_live) break;
+    if (!front.day_closed) {
+      // An open day pins its buckets; nothing older than it can be ahead
+      // of it in the deque with a closed day (days arrive contiguously),
+      // so stop here.
+      break;
+    }
+    dropped += front.events.size();
+    buffered_events_ -= front.events.size();
+    buckets_.pop_front();
+  }
+  return dropped;
+}
+
+std::size_t WindowAccumulator::window_events(std::int64_t tick) const {
+  std::size_t count = 0;
+  for_each_window_chunk(tick, [&](std::span<const logs::ConnEvent> events) {
+    count += events.size();
+  });
+  return count;
+}
+
+}  // namespace eid::rt

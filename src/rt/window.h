@@ -1,0 +1,122 @@
+// Sliding-window micro-batch storage for the continuous engine.
+//
+// Events are appended in arrival order into *buckets*, one bucket per
+// (tick, day-tag) pair; buckets form a monotone sequence because sim time
+// only moves forward. Two consumers read them back as chunk spans, both in
+// exact arrival order:
+//
+//   * the per-tick provisional evaluation replays every bucket still
+//     inside the sliding window (window_seconds of sim time), and
+//   * the authoritative day close replays every bucket tagged with the
+//     closing day — the same event sequence the batch path would have
+//     seen, so feeding it through core::DayAccumulator reproduces
+//     run_day() bit for bit (the chunking-independence contract).
+//
+// A bucket is dropped only when it has slid out of the window AND its day
+// has been closed; the window never truncates an open day. Memory is
+// therefore bounded by (window ∪ open day) — the continuous engine's
+// backpressure story is pull-based ingestion plus this bound, not an
+// unbounded queue.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "logs/records.h"
+#include "util/time.h"
+
+namespace eid::rt {
+
+/// Tick/window geometry. Ticks must tile the day exactly so day closes
+/// coincide with tick boundaries, and the window must be a whole number of
+/// ticks so expiry drops whole buckets.
+struct WindowConfig {
+  std::int64_t tick_seconds = 300;                      ///< micro-batch size
+  std::int64_t window_seconds = util::kSecondsPerDay;   ///< evidence horizon
+
+  bool valid() const {
+    return tick_seconds > 0 && util::kSecondsPerDay % tick_seconds == 0 &&
+           window_seconds >= tick_seconds &&
+           window_seconds % tick_seconds == 0;
+  }
+
+  std::int64_t window_ticks() const { return window_seconds / tick_seconds; }
+
+  /// Tick index containing sim time t (floor division, correct for t < 0).
+  std::int64_t tick_of(util::TimePoint t) const {
+    return t >= 0 ? t / tick_seconds
+                  : (t - (tick_seconds - 1)) / tick_seconds;
+  }
+
+  /// Sim time at which tick `index` closes (exclusive end).
+  util::TimePoint tick_end(std::int64_t index) const {
+    return (index + 1) * tick_seconds;
+  }
+};
+
+/// Arrival-ordered micro-batch buckets with window expiry and per-day
+/// replay. Not thread-safe: owned and driven by one engine.
+class WindowAccumulator {
+ public:
+  explicit WindowAccumulator(WindowConfig config) : config_(config) {}
+
+  const WindowConfig& config() const { return config_; }
+
+  /// Append one event observed during `tick` while ingesting a chunk
+  /// tagged `day`. Ticks must be non-decreasing (sim time is monotonic).
+  void append(const logs::ConnEvent& event, std::int64_t tick, util::Day day);
+
+  /// Mark every bucket tagged `day` as closed (eligible for expiry once
+  /// outside the window).
+  void close_day(util::Day day);
+
+  /// Drop buckets that are both outside the window ending at `tick` (i.e.
+  /// older than tick - window_ticks + 1) and day-closed. Returns the
+  /// number of events dropped.
+  std::size_t expire(std::int64_t tick);
+
+  /// Visit the events of every bucket inside the window ending at `tick`,
+  /// oldest bucket first (arrival order). fn(std::span<const ConnEvent>).
+  template <typename Fn>
+  void for_each_window_chunk(std::int64_t tick, Fn&& fn) const {
+    const std::int64_t first_live = tick - config_.window_ticks() + 1;
+    for (const Bucket& bucket : buckets_) {
+      if (bucket.tick < first_live || bucket.tick > tick) continue;
+      if (!bucket.events.empty()) fn(std::span<const logs::ConnEvent>(bucket.events));
+    }
+  }
+
+  /// Visit the events of every bucket tagged `day`, oldest first — the
+  /// day's full arrival-ordered sequence for the authoritative close.
+  template <typename Fn>
+  void for_each_day_chunk(util::Day day, Fn&& fn) const {
+    for (const Bucket& bucket : buckets_) {
+      if (bucket.day != day) continue;
+      if (!bucket.events.empty()) fn(std::span<const logs::ConnEvent>(bucket.events));
+    }
+  }
+
+  /// Events inside the window ending at `tick`.
+  std::size_t window_events(std::int64_t tick) const;
+
+  /// All events currently buffered (window plus any unclosed days).
+  std::size_t buffered_events() const { return buffered_events_; }
+
+  std::size_t bucket_count() const { return buckets_.size(); }
+
+ private:
+  struct Bucket {
+    std::int64_t tick = 0;
+    util::Day day = 0;
+    bool day_closed = false;
+    std::vector<logs::ConnEvent> events;
+  };
+
+  WindowConfig config_;
+  std::deque<Bucket> buckets_;
+  std::size_t buffered_events_ = 0;
+};
+
+}  // namespace eid::rt

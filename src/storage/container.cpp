@@ -39,6 +39,10 @@ void ContainerWriter::add_section(SectionId id, std::string payload) {
 
 std::string ContainerWriter::encode() const {
   util::ByteWriter out;
+  // Header + per section: id/size varints (<= 10 each), payload, CRC.
+  std::size_t bound = kContainerMagic.size() + 20;
+  for (const auto& [id, payload] : sections_) bound += payload.size() + 24;
+  out.reserve(bound);
   out.bytes(kContainerMagic);
   out.varint(kFormatVersion);
   out.varint(sections_.size());

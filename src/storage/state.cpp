@@ -1,6 +1,7 @@
 #include "storage/state.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "util/binary.h"
@@ -21,11 +22,29 @@ StringTable sorted_unique(std::vector<std::string_view> strings) {
   return strings;
 }
 
-/// Index of `text` in the sorted table. Caller guarantees membership.
-std::uint64_t table_id(const StringTable& table, std::string_view text) {
-  const auto it = std::lower_bound(table.begin(), table.end(), text);
-  return static_cast<std::uint64_t>(it - table.begin());
-}
+/// Hashed lookup over the sorted table. Binary-searching per string was
+/// the encode hot spot (the big tables are UA strings with long shared
+/// prefixes, making each lexicographic comparison expensive); one O(n)
+/// index build replaces millions of O(log n) string compares. Ids keep
+/// the table's sort order, so id order == lexicographic order and every
+/// encoded byte is unchanged.
+class TableIndex {
+ public:
+  explicit TableIndex(const StringTable& table) {
+    ids_.reserve(table.size());
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      ids_.emplace(table[i], static_cast<std::uint64_t>(i));
+    }
+  }
+
+  /// Id of `text` in the table. Caller guarantees membership.
+  std::uint64_t id(std::string_view text) const {
+    return ids_.find(text)->second;
+  }
+
+ private:
+  std::unordered_map<std::string_view, std::uint64_t> ids_;
+};
 
 std::size_t common_prefix(std::string_view a, std::string_view b) {
   const std::size_t cap = std::min(a.size(), b.size());
@@ -51,6 +70,11 @@ std::string encode_string_table(const StringTable& table,
           util::ByteWriter out;
           const std::size_t begin = b * kFrontCodeBlock;
           const std::size_t end = std::min(begin + kFrontCodeBlock, n);
+          std::size_t bound = 0;
+          for (std::size_t i = begin; i < end; ++i) {
+            bound += table[i].size() + 10;  // suffix + two varints, worst case
+          }
+          out.reserve(bound);
           for (std::size_t i = begin; i < end; ++i) {
             const std::string_view text = table[i];
             const std::size_t prefix =
@@ -63,6 +87,9 @@ std::string encode_string_table(const StringTable& table,
         }
       });
   util::ByteWriter out;
+  std::size_t total = 10;
+  for (const std::string& block : blocks) total += block.size();
+  out.reserve(total);
   out.varint(n);
   for (const std::string& block : blocks) out.bytes(block);
   return out.take();
@@ -177,14 +204,17 @@ bool decode_id_run(util::ByteReader& in, std::uint64_t count,
   return true;
 }
 
-std::vector<std::uint64_t> sorted_ids(const StringTable& table,
-                                      std::vector<std::string_view> strings) {
+/// Table ids of `strings`, ascending. Sorting the integer ids gives the
+/// same order the old sort-strings-then-look-up did (ids are assigned in
+/// table sort order) without any string comparisons.
+std::vector<std::uint64_t> sorted_ids(const TableIndex& index,
+                                      const std::vector<std::string_view>& strings) {
   std::vector<std::uint64_t> ids;
   ids.reserve(strings.size());
-  std::sort(strings.begin(), strings.end());
   for (const std::string_view text : strings) {
-    ids.push_back(table_id(table, text));
+    ids.push_back(index.id(text));
   }
+  std::sort(ids.begin(), ids.end());
   return ids;
 }
 
@@ -199,11 +229,12 @@ std::vector<std::string_view> domain_views(
 }
 
 std::string encode_domain_history_section(const profile::DomainHistory& history,
-                                          const StringTable& table) {
+                                          const TableIndex& index) {
   util::ByteWriter out;
+  out.reserve(history.size() * 3 + 20);
   out.varint(history.days_ingested());
   out.varint(history.size());
-  encode_id_run(out, sorted_ids(table, domain_views(history)));
+  encode_id_run(out, sorted_ids(index, domain_views(history)));
   return out.take();
 }
 
@@ -234,9 +265,10 @@ bool decode_domain_history_section(std::string_view payload,
 // ---- UA history ----
 
 struct UaEntryIds {
-  std::string_view ua;
+  std::uint64_t ua_id = 0;  ///< table id; id order == UA string order
+  std::uint32_t hosts_begin = 0;  ///< range into a shared flat id array
+  std::uint32_t hosts_count = 0;
   bool popular = false;
-  std::vector<std::uint64_t> host_table_ids;  ///< sorted ascending
 };
 
 std::vector<std::string_view> ua_views(const profile::UaHistory& history) {
@@ -256,40 +288,55 @@ std::vector<std::string_view> ua_views(const profile::UaHistory& history) {
 }
 
 std::string encode_ua_history_section(const profile::UaHistory& history,
-                                      const StringTable& table) {
+                                      const TableIndex& index) {
   // Resolve each distinct host to its table id once (lazily), not per
-  // entry — hosts repeat across thousands of entries.
+  // entry — hosts repeat across thousands of entries. Per-entry host id
+  // lists live in one flat array (entries only hold ranges), so the whole
+  // encode performs O(1) heap allocations, not one per UA.
   constexpr std::uint64_t kUnresolved = ~std::uint64_t{0};
   std::vector<std::uint64_t> host_table(history.distinct_hosts(), kUnresolved);
   std::vector<UaEntryIds> entries;
+  std::vector<std::uint64_t> flat_host_ids;
   entries.reserve(history.distinct_uas());
+  flat_host_ids.reserve(history.distinct_uas() * 4);
   history.for_each_entry_ids([&](const std::string& ua, bool popular,
                                  std::span<const util::InternId> host_ids) {
     UaEntryIds entry;
-    entry.ua = ua;
+    entry.ua_id = index.id(ua);
     entry.popular = popular;
-    entry.host_table_ids.reserve(host_ids.size());
+    entry.hosts_begin = static_cast<std::uint32_t>(flat_host_ids.size());
     for (const util::InternId id : host_ids) {
       if (host_table[id] == kUnresolved) {
-        host_table[id] = table_id(table, history.host_name(id));
+        host_table[id] = index.id(history.host_name(id));
       }
-      entry.host_table_ids.push_back(host_table[id]);
+      flat_host_ids.push_back(host_table[id]);
     }
-    std::sort(entry.host_table_ids.begin(), entry.host_table_ids.end());
-    entries.push_back(std::move(entry));
+    entry.hosts_count =
+        static_cast<std::uint32_t>(flat_host_ids.size()) - entry.hosts_begin;
+    std::sort(flat_host_ids.begin() + entry.hosts_begin, flat_host_ids.end());
+    entries.push_back(entry);
   });
+  // Table ids sort exactly like the strings they name.
   std::sort(entries.begin(), entries.end(),
-            [](const UaEntryIds& a, const UaEntryIds& b) { return a.ua < b.ua; });
+            [](const UaEntryIds& a, const UaEntryIds& b) {
+              return a.ua_id < b.ua_id;
+            });
 
   util::ByteWriter out;
+  out.reserve(entries.size() * 8 + flat_host_ids.size() * 4 + 20);
   out.varint(history.rare_threshold());
   out.varint(entries.size());
   for (const UaEntryIds& entry : entries) {
-    out.varint(table_id(table, entry.ua));
+    out.varint(entry.ua_id);
     out.u8(entry.popular ? 1 : 0);
     if (entry.popular) continue;  // host set dropped once popular
-    out.varint(entry.host_table_ids.size());
-    encode_id_run(out, entry.host_table_ids);
+    out.varint(entry.hosts_count);
+    std::uint64_t prev = 0;
+    for (std::uint32_t i = 0; i < entry.hosts_count; ++i) {
+      const std::uint64_t id = flat_host_ids[entry.hosts_begin + i];
+      out.varint(id - prev);
+      prev = id;
+    }
   }
   return out.take();
 }
@@ -360,11 +407,12 @@ bool decode_ua_history_section(std::string_view payload,
 
 // ---- Plain string-set sections (top sites, intel) ----
 
-std::string encode_string_set_section(std::vector<std::string_view> strings,
-                                      const StringTable& table) {
+std::string encode_string_set_section(const std::vector<std::string_view>& strings,
+                                      const TableIndex& index) {
   util::ByteWriter out;
+  out.reserve(strings.size() * 3 + 10);
   out.varint(strings.size());
-  encode_id_run(out, sorted_ids(table, std::move(strings)));
+  encode_id_run(out, sorted_ids(index, strings));
   return out.take();
 }
 
@@ -637,6 +685,7 @@ std::string encode_detector_state(const DetectorStateView& state,
     }
   }
   const StringTable table = sorted_unique(std::move(all));
+  const TableIndex index(table);
 
   ContainerWriter writer;
   writer.add_section(SectionId::StringTable,
@@ -644,13 +693,13 @@ std::string encode_detector_state(const DetectorStateView& state,
   writer.add_section(SectionId::Config, encode_config_section(*state.config));
   writer.add_section(
       SectionId::DomainHistory,
-      encode_domain_history_section(*state.domain_history, table));
+      encode_domain_history_section(*state.domain_history, index));
   writer.add_section(SectionId::UaHistory,
-                     encode_ua_history_section(*state.ua_history, table));
+                     encode_ua_history_section(*state.ua_history, index));
   if (state.top_sites != nullptr) {
     writer.add_section(
         SectionId::TopSites,
-        encode_string_set_section(top_site_views(*state.top_sites), table));
+        encode_string_set_section(top_site_views(*state.top_sites), index));
   }
   writer.add_section(SectionId::CcModel, encode_model_section(*state.cc_model));
   writer.add_section(SectionId::SimModel,
@@ -658,10 +707,10 @@ std::string encode_detector_state(const DetectorStateView& state,
   writer.add_section(SectionId::TrainingStats,
                      encode_training_section(state.training));
   if (has_intel) {
-    std::vector<std::string_view> intel(state.intel_domains->begin(),
-                                        state.intel_domains->end());
+    const std::vector<std::string_view> intel(state.intel_domains->begin(),
+                                              state.intel_domains->end());
     writer.add_section(SectionId::Intel,
-                       encode_string_set_section(std::move(intel), table));
+                       encode_string_set_section(intel, index));
   }
   writer.add_section(SectionId::Counters,
                      encode_counters_section(state.counters));
@@ -751,11 +800,12 @@ bool save_domain_history(const profile::DomainHistory& history,
                          const std::filesystem::path& path,
                          std::size_t n_threads, LoadStatus* status) {
   const StringTable table = sorted_unique(domain_views(history));
+  const TableIndex index(table);
   ContainerWriter writer;
   writer.add_section(SectionId::StringTable,
                      encode_string_table(table, n_threads));
   writer.add_section(SectionId::DomainHistory,
-                     encode_domain_history_section(history, table));
+                     encode_domain_history_section(history, index));
   return save_container(writer, path, status);
 }
 
@@ -785,11 +835,12 @@ bool save_ua_history(const profile::UaHistory& history,
                      const std::filesystem::path& path, std::size_t n_threads,
                      LoadStatus* status) {
   const StringTable table = sorted_unique(ua_views(history));
+  const TableIndex index(table);
   ContainerWriter writer;
   writer.add_section(SectionId::StringTable,
                      encode_string_table(table, n_threads));
   writer.add_section(SectionId::UaHistory,
-                     encode_ua_history_section(history, table));
+                     encode_ua_history_section(history, index));
   return save_container(writer, path, status);
 }
 
@@ -819,11 +870,12 @@ bool save_top_sites(const profile::TopSitesList& sites,
                     const std::filesystem::path& path, std::size_t n_threads,
                     LoadStatus* status) {
   const StringTable table = sorted_unique(top_site_views(sites));
+  const TableIndex index(table);
   ContainerWriter writer;
   writer.add_section(SectionId::StringTable,
                      encode_string_table(table, n_threads));
   writer.add_section(SectionId::TopSites,
-                     encode_string_set_section(top_site_views(sites), table));
+                     encode_string_set_section(top_site_views(sites), index));
   return save_container(writer, path, status);
 }
 

@@ -18,6 +18,11 @@ namespace eid::util {
 /// Append-only encoder. All integers little-endian, varints LEB128.
 class ByteWriter {
  public:
+  /// Pre-size the backing buffer (hot encode paths know their output size
+  /// to within a few bytes; growing a multi-MB buffer in doublings is
+  /// measurable).
+  void reserve(std::size_t bytes) { buffer_.reserve(bytes); }
+
   void u8(std::uint8_t value) { buffer_.push_back(static_cast<char>(value)); }
 
   void u32le(std::uint32_t value) {

@@ -181,6 +181,106 @@ TEST_F(TsvFileSourceTest, MissingFileReportsUnopened) {
   EXPECT_FALSE(source.next_chunk().has_value());
 }
 
+// ---- TsvFileSource tail mode (--follow) ----
+
+namespace {
+
+logs::DnsRecord dns_record(util::TimePoint ts, int i) {
+  logs::DnsRecord rec;
+  rec.ts = ts;
+  rec.src = "h" + std::to_string(i);
+  rec.domain = "tail" + std::to_string(i) + ".example.net";
+  rec.type = logs::DnsType::A;
+  return rec;
+}
+
+}  // namespace
+
+TEST_F(TsvFileSourceTest, TailResumesAtByteOffsetAndSkipsPartialLines) {
+  const auto path = dir_ / "dns-tail.tsv";
+  ASSERT_TRUE(logs::write_dns_file(path, {dns_record(100, 0), dns_record(101, 1)}));
+
+  TsvFileSource source(path, 7, logs::DnsReductionConfig{});
+  source.set_tail(true);
+
+  // First poll drains the two complete lines; the cursor lands at the end.
+  EXPECT_EQ(drain(source).size(), 2u);
+  const std::uint64_t after_two =
+      static_cast<std::uint64_t>(std::filesystem::file_size(path));
+  EXPECT_EQ(source.stats().byte_offset, after_two);
+
+  // A partially written line (no newline yet) is invisible: not an event,
+  // not malformed, cursor unmoved.
+  const std::string third = logs::format_dns_line(dns_record(102, 2));
+  {
+    std::ofstream out(path, std::ios::app);
+    out << third.substr(0, third.size() / 2);
+  }
+  EXPECT_FALSE(source.next_chunk().has_value());
+  EXPECT_EQ(source.stats().malformed, 0u);
+  EXPECT_EQ(source.stats().byte_offset, after_two);
+
+  // Once its newline lands the whole line is re-read from the cursor.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << third.substr(third.size() / 2) << '\n';
+  }
+  const auto chunk = source.next_chunk();
+  ASSERT_TRUE(chunk.has_value());
+  ASSERT_EQ(chunk->events.size(), 1u);
+  EXPECT_EQ(chunk->events[0].domain, "tail2.example.net");
+  EXPECT_EQ(chunk->events[0].ts, 102);
+  EXPECT_EQ(source.stats().byte_offset, after_two + third.size() + 1);
+  EXPECT_FALSE(source.next_chunk().has_value());
+
+  // Garbage appended mid-tail is counted malformed, never fatal; the
+  // complete line after it still comes through the same poll.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "garbage without enough tabs\n"
+        << logs::format_dns_line(dns_record(103, 3)) << '\n';
+  }
+  const auto after_garbage = source.next_chunk();
+  ASSERT_TRUE(after_garbage.has_value());
+  ASSERT_EQ(after_garbage->events.size(), 1u);
+  EXPECT_EQ(after_garbage->events[0].ts, 103);
+  EXPECT_EQ(source.stats().malformed, 1u);
+  EXPECT_EQ(source.stats().byte_offset,
+            static_cast<std::uint64_t>(std::filesystem::file_size(path)));
+}
+
+TEST_F(TsvFileSourceTest, TailRetriesAFileThatAppearsLater) {
+  const auto path = dir_ / "late.tsv";
+  TsvFileSource source(path, 7, logs::DnsReductionConfig{});
+  source.set_tail(true);
+  EXPECT_FALSE(source.stats().opened);
+  EXPECT_FALSE(source.next_chunk().has_value());  // nothing yet, not an error
+
+  ASSERT_TRUE(logs::write_dns_file(path, {dns_record(200, 0)}));
+  const auto chunk = source.next_chunk();
+  ASSERT_TRUE(chunk.has_value());
+  EXPECT_EQ(chunk->events.size(), 1u);
+  EXPECT_TRUE(source.stats().opened);
+}
+
+TEST_F(TsvFileSourceTest, TailSuppressesEmptyDayMarker) {
+  // A tail has no notion of "the day produced nothing" — the stream never
+  // ends, so the empty-day boundary marker must not fire.
+  const auto path = dir_ / "empty.tsv";
+  { std::ofstream out(path); }
+  TsvFileSource source(path, 7, logs::DnsReductionConfig{});
+  source.set_tail(true);
+  EXPECT_FALSE(source.next_chunk().has_value());
+  EXPECT_FALSE(source.next_chunk().has_value());
+
+  // Batch mode on the same empty file does announce the day once.
+  TsvFileSource batch(path, 7, logs::DnsReductionConfig{});
+  const auto marker = batch.next_chunk();
+  ASSERT_TRUE(marker.has_value());
+  EXPECT_TRUE(marker->events.empty());
+  EXPECT_FALSE(batch.next_chunk().has_value());
+}
+
 // ---- SimSource ----
 
 TEST(SimSourceTest, MatchesReducedDayAcrossTheRange) {
