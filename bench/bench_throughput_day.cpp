@@ -1,18 +1,31 @@
-// Multi-day throughput benchmark for the sharded parallel day-analysis
-// engine: replays a simulated enterprise proxy workload through the
-// incremental day path (DayAccumulator -> finish_day -> report_day) at a
-// sweep of (analysis threads, ingest shards) configurations, and reports
-// events/sec with a per-stage breakdown (ingest, CSR finalize, rare
-// extraction, automation scan, scoring + BP). Results are bit-identical
-// across configurations (the determinism tests enforce it), so the sweep
-// measures pure performance.
+// Multi-day throughput benchmark for the persistent-executor day-analysis
+// engine: replays a simulated enterprise proxy workload through
+// api::Detector::analyze_days — the pipelined multi-day path every
+// deployment verb rides — at a sweep of (analysis threads, ingest shards,
+// pipeline depth) configurations, and reports events/sec with a per-stage
+// breakdown. Results are bit-identical across configurations (the
+// determinism tests enforce it; this bench byte-compares the reports
+// again), so the sweep measures pure performance.
 //
-//   bench_throughput_day [--days N] [--configs t:s,t:s,...] [--json[=path]]
+//   bench_throughput_day [--days N] [--configs t[:s[:d]],...] [--repeat N]
+//                        [--json[=path]]
 //
-// --json records the "throughput" section of BENCH_perf.json at the repo
-// root (bench_perf_pipeline writes the "micro" section of the same file),
+// --repeat runs each configuration N times and reports the median run (by
+// wall time) — the recommended mode on noisy shared hardware. --json
+// records the "throughput" section of BENCH_perf.json at the repo root
+// (bench_perf_pipeline writes the "micro" section of the same file),
 // including the day-analysis speedup of the last config vs the first —
-// the cross-PR perf trajectory. Defaults: 3 days, configs 1:1,2:2,4:4,8:8.
+// the cross-PR perf trajectory. Defaults: 3 days, one repeat, configs
+// 1:1,2:2,4:4,8:8,8:8:2 (the trailing config adds depth-2 day
+// pipelining: day N's finalize/score/commit overlaps day N+1's ingest).
+//
+// analysis_seconds is wall time minus the measured score+BP stage — the
+// day-analysis engine's share of the run, comparable across depths (with
+// depth > 1 the stage sums exceed wall because they overlap; wall is what
+// an operator waits for). The "ingest" stage is reported as the residual
+// wall - finalize - rare - automation - score_bp, which with depth > 1
+// absorbs the overlap win and can undercut true ingest cost.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +36,8 @@
 #include <thread>
 #include <vector>
 
+#include "api/detector.h"
+#include "api/event_source.h"
 #include "bench_common.h"
 #include "core/pipeline.h"
 #include "core/report_json.h"
@@ -33,31 +48,29 @@ namespace {
 using namespace eid;
 using clock_type = std::chrono::steady_clock;
 
-constexpr std::size_t kChunkEvents = 4096;
-
 double seconds_since(clock_type::time_point start) {
   return std::chrono::duration<double>(clock_type::now() - start).count();
 }
 
-struct StageTotals {
-  double ingest = 0.0;
-  double finalize = 0.0;
-  double rare = 0.0;
-  double automation = 0.0;
-  double score_bp = 0.0;
-
-  /// The day-analysis path (everything before thresholding/BP).
-  double analysis() const { return ingest + finalize + rare + automation; }
-  double total() const { return analysis() + score_bp; }
-};
-
 struct ConfigResult {
   core::Parallelism parallelism;
-  StageTotals stages;
+  double wall = 0.0;      ///< the full analyze_days run
+  double finalize = 0.0;  ///< CSR finalize (from DayAnalysis stage clocks)
+  double rare = 0.0;
+  double automation = 0.0;
+  double score_bp = 0.0;  ///< report_day (thresholds + both BP modes)
   std::size_t events = 0;
   std::size_t detections = 0;   ///< headline count for the console line
   std::string report_digest;    ///< all DayReport JSON, concatenated —
                                 ///< must be byte-identical across configs
+
+  /// Day-analysis share of the run: everything but score+BP.
+  double analysis() const { return std::max(0.0, wall - score_bp); }
+  /// Wall not attributed to a measured stage (chunk ingest + overhead;
+  /// with depth > 1, minus whatever the pipelining overlapped away).
+  double ingest() const {
+    return std::max(0.0, wall - finalize - rare - automation - score_bp);
+  }
 };
 
 sim::SimConfig workload_config() {
@@ -83,55 +96,51 @@ ConfigResult run_config(const core::Parallelism& parallelism,
                         util::Day day0) {
   core::PipelineConfig config;
   config.parallelism = parallelism;
-  core::Pipeline pipeline(config, whois);
-  pipeline.profile_day(profile_events);
+  api::Detector detector(config, whois);
+  api::VectorSource profile(day0, &profile_events);
+  detector.ingest(profile);
 
   ConfigResult result;
   result.parallelism = parallelism;
-  for (std::size_t d = 0; d < days.size(); ++d) {
-    const util::Day day = day0 + 1 + static_cast<util::Day>(d);
-    const auto& events = days[d];
-
-    auto start = clock_type::now();
-    core::DayAccumulator accumulator = pipeline.begin_day(day);
-    for (std::size_t pos = 0; pos < events.size(); pos += kChunkEvents) {
-      const std::size_t count = std::min(kChunkEvents, events.size() - pos);
-      accumulator.add_chunk({events.data() + pos, count});
-    }
-    result.stages.ingest += seconds_since(start);
-
-    const core::DayAnalysis analysis =
-        pipeline.finish_day(std::move(accumulator));
-    result.stages.finalize += analysis.stage_seconds.finalize;
-    result.stages.rare += analysis.stage_seconds.rare;
-    result.stages.automation += analysis.stage_seconds.automation;
-
-    start = clock_type::now();
-    const core::DayReport report = pipeline.report_day(analysis, {});
-    result.stages.score_bp += seconds_since(start);
-    result.detections += report.automated_scores.size() +
-                         report.nohint.domains.size();
-    result.report_digest += core::day_report_to_json(report);
-
-    pipeline.update_histories(analysis.graph);
-    result.events += events.size();
-  }
+  core::Pipeline& pipeline = detector.pipeline();
+  api::MultiDaySource source(day0 + 1, &days);
+  const auto start = clock_type::now();
+  const api::IngestReport ingest = detector.analyze_days(
+      source, [&](util::Day, const core::DayAnalysis& analysis) {
+        result.finalize += analysis.stage_seconds.finalize;
+        result.rare += analysis.stage_seconds.rare;
+        result.automation += analysis.stage_seconds.automation;
+        const auto score_start = clock_type::now();
+        const core::DayReport report = pipeline.report_day(analysis, {});
+        result.score_bp += seconds_since(score_start);
+        result.detections +=
+            report.automated_scores.size() + report.nohint.domains.size();
+        result.report_digest += core::day_report_to_json(report);
+      });
+  result.wall = seconds_since(start);
+  result.events = ingest.events;
   return result;
 }
 
+/// t[:s[:d]] — shards default to the thread count, depth to 1.
 std::vector<core::Parallelism> parse_configs(const std::string& spec) {
   std::vector<core::Parallelism> configs;
   std::stringstream in(spec);
   std::string item;
   while (std::getline(in, item, ',')) {
-    const auto colon = item.find(':');
+    std::stringstream fields(item);
+    std::string field;
+    std::vector<std::size_t> values;
+    while (std::getline(fields, field, ':')) {
+      values.push_back(static_cast<std::size_t>(std::atoi(field.c_str())));
+    }
+    if (values.empty()) continue;
     core::Parallelism p;
-    p.threads = static_cast<std::size_t>(std::atoi(item.c_str()));
-    p.shards = colon == std::string::npos
-                   ? p.threads
-                   : static_cast<std::size_t>(std::atoi(item.c_str() + colon + 1));
-    if (p.threads == 0) p.threads = 1;
-    if (p.shards == 0) p.shards = 1;
+    p.threads = std::max<std::size_t>(values[0], 1);
+    p.shards = values.size() > 1 ? std::max<std::size_t>(values[1], 1)
+                                 : p.threads;
+    p.pipeline_depth =
+        values.size() > 2 ? std::max<std::size_t>(values[2], 1) : 1;
     configs.push_back(p);
   }
   return configs;
@@ -143,7 +152,8 @@ int main(int argc, char** argv) {
   const std::string json_path =
       eid::bench::take_json_flag(argc, argv, "BENCH_perf.json");
   std::size_t n_days = 3;
-  std::string config_spec = "1:1,2:2,4:4,8:8";
+  std::size_t repeats = 1;
+  std::string config_spec = "1:1,2:2,4:4,8:8,8:8:2";
   bool non_default_run = false;  // --json only records the default sweep
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--days") == 0 && i + 1 < argc) {
@@ -153,9 +163,15 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--configs") == 0 && i + 1 < argc) {
       config_spec = argv[++i];
       non_default_run = true;
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      // Median-of-N is noise reduction, not a workload change — still
+      // recordable with --json.
+      const int n = std::atoi(argv[++i]);
+      repeats = n > 0 ? static_cast<std::size_t>(n) : 1;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--days N] [--configs t:s,...] [--json[=path]]\n",
+                   "usage: %s [--days N] [--configs t[:s[:d]],...] "
+                   "[--repeat N] [--json[=path]]\n",
                    argv[0]);
       return 1;
     }
@@ -168,7 +184,7 @@ int main(int argc, char** argv) {
   }
 
   eid::bench::print_header("BENCH_throughput",
-                           "sharded parallel day-analysis engine");
+                           "persistent-executor day-analysis engine");
   const sim::SimConfig world = workload_config();
   sim::EnterpriseSimulator simulator(world, {});
   const std::vector<logs::ConnEvent> profile_events =
@@ -181,42 +197,56 @@ int main(int argc, char** argv) {
     total_events += days.back().size();
   }
   const unsigned cores = std::thread::hardware_concurrency();
-  std::printf("workload: %zu hosts, %zu day(s), %zu events  (%u cpu core(s) "
-              "— speedup is bounded by this)\n",
+  std::printf("workload: %zu hosts, %zu day(s), %zu events, %zu repeat(s)  "
+              "(%u cpu core(s) — speedup is bounded by this)\n",
               static_cast<std::size_t>(world.n_hosts), n_days, total_events,
-              cores);
+              repeats, cores);
 
   std::vector<ConfigResult> results;
+  std::string digest;
   for (const auto& parallelism : configs) {
-    results.push_back(run_config(parallelism, simulator.whois(),
-                                 profile_events, days, world.day0));
+    std::vector<ConfigResult> runs;
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+      runs.push_back(run_config(parallelism, simulator.whois(), profile_events,
+                                days, world.day0));
+      // Byte-compare the serialized reports, not just counts: a bug that
+      // swaps WHICH domains are detected must fail here too — across
+      // configs, depths and repeats alike.
+      if (digest.empty()) digest = runs.back().report_digest;
+      if (runs.back().report_digest != digest) {
+        std::fprintf(stderr,
+                     "FATAL: DayReports differ across configs (determinism "
+                     "violation)\n");
+        return 1;
+      }
+    }
+    std::sort(runs.begin(), runs.end(),
+              [](const ConfigResult& a, const ConfigResult& b) {
+                return a.wall < b.wall;
+              });
+    results.push_back(std::move(runs[runs.size() / 2]));  // median by wall
     const ConfigResult& r = results.back();
     std::printf(
-        "threads=%zu shards=%zu  %10.0f events/s  analysis=%.3fs "
-        "(ingest=%.3f finalize=%.3f rare=%.3f automation=%.3f) "
-        "score+bp=%.3fs  detections=%zu\n",
+        "threads=%zu shards=%zu depth=%zu  %10.0f events/s  wall=%.3fs "
+        "analysis=%.3fs (ingest=%.3f finalize=%.3f rare=%.3f "
+        "automation=%.3f) score+bp=%.3fs  detections=%zu\n",
         r.parallelism.threads, r.parallelism.shards,
-        static_cast<double>(r.events) / r.stages.total(), r.stages.analysis(),
-        r.stages.ingest, r.stages.finalize, r.stages.rare,
-        r.stages.automation, r.stages.score_bp, r.detections);
+        r.parallelism.pipeline_depth,
+        static_cast<double>(r.events) / r.wall, r.wall, r.analysis(),
+        r.ingest(), r.finalize, r.rare, r.automation, r.score_bp,
+        r.detections);
   }
-  for (const ConfigResult& r : results) {
-    // Byte-compare the serialized reports, not just counts: a bug that
-    // swaps WHICH domains are detected must fail here too.
-    if (r.report_digest != results.front().report_digest) {
-      std::fprintf(stderr,
-                   "FATAL: DayReports differ across configs (determinism "
-                   "violation)\n");
-      return 1;
-    }
-  }
-  const double speedup =
-      results.back().stages.analysis() > 0.0
-          ? results.front().stages.analysis() / results.back().stages.analysis()
-          : 0.0;
-  std::printf("day-analysis speedup (threads=%zu vs threads=%zu): %.2fx\n",
-              results.back().parallelism.threads,
-              results.front().parallelism.threads, speedup);
+  const double speedup = results.back().analysis() > 0.0
+                             ? results.front().analysis() /
+                                   results.back().analysis()
+                             : 0.0;
+  std::printf(
+      "day-analysis speedup (threads=%zu depth=%zu vs threads=%zu "
+      "depth=%zu): %.2fx\n",
+      results.back().parallelism.threads,
+      results.back().parallelism.pipeline_depth,
+      results.front().parallelism.threads,
+      results.front().parallelism.pipeline_depth, speedup);
 
   if (json_path.empty()) return 0;
   if (non_default_run) {
@@ -233,20 +263,22 @@ int main(int argc, char** argv) {
   body << std::setprecision(17);  // keep sub-percent drift visible across PRs
   body << "{\n    \"workload\": {\"hosts\": " << world.n_hosts
        << ", \"days\": " << n_days << ", \"events\": " << total_events
-       << ", \"cpu_cores\": " << cores << "},\n    \"configs\": [";
+       << ", \"cpu_cores\": " << cores << ", \"repeats\": " << repeats
+       << "},\n    \"configs\": [";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ConfigResult& r = results[i];
     body << (i == 0 ? "\n" : ",\n");
     body << "      {\"threads\": " << r.parallelism.threads
          << ", \"shards\": " << r.parallelism.shards
+         << ", \"pipeline_depth\": " << r.parallelism.pipeline_depth
          << ", \"events_per_second\": "
-         << static_cast<double>(r.events) / r.stages.total()
-         << ", \"analysis_seconds\": " << r.stages.analysis()
-         << ", \"stages\": {\"ingest\": " << r.stages.ingest
-         << ", \"finalize\": " << r.stages.finalize
-         << ", \"rare\": " << r.stages.rare
-         << ", \"automation\": " << r.stages.automation
-         << ", \"score_bp\": " << r.stages.score_bp << "}}";
+         << static_cast<double>(r.events) / r.wall
+         << ", \"wall_seconds\": " << r.wall
+         << ", \"analysis_seconds\": " << r.analysis()
+         << ", \"stages\": {\"ingest\": " << r.ingest()
+         << ", \"finalize\": " << r.finalize << ", \"rare\": " << r.rare
+         << ", \"automation\": " << r.automation
+         << ", \"score_bp\": " << r.score_bp << "}}";
   }
   body << "\n    ],\n    \"analysis_speedup_last_vs_first\": " << speedup
        << "\n  }";

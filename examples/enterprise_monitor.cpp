@@ -4,10 +4,11 @@
 // IOC-seeded expansion — ordered by suspiciousness for analyst review.
 //
 // Usage: enterprise_monitor [days=7] [tc=0.4] [ts=0.33] [threads=1] [shards=1]
-//                           [--state <path>] [--help]
+//                           [depth=1] [--state <path>] [--help]
 //
-// threads/shards drive the sharded parallel day-analysis engine; reports
-// are bit-identical for any values, so they are safe to size to the host.
+// threads/shards/depth drive the parallel day-analysis engine (worker
+// threads, ingest shards, multi-day pipeline depth); reports are
+// bit-identical for any values, so they are safe to size to the host.
 //
 // --state <path> makes the monitor durable: the full detector state
 // (histories, trained models, counters) is checkpointed to <path> after
@@ -40,13 +41,15 @@ using namespace eid;
 
 void print_usage(const char* argv0) {
   std::printf(
-      "usage: %s [days] [tc] [ts] [threads] [shards] [--state <path>]\n"
+      "usage: %s [days] [tc] [ts] [threads] [shards] [depth] [--state <path>]\n"
       "\n"
       "  days     operation days to monitor (default 7, >= 1)\n"
       "  tc       C&C detection threshold Tc (default 0.4)\n"
       "  ts       similarity threshold Ts (default 0.33)\n"
       "  threads  day-analysis worker threads (default 1, >= 1)\n"
       "  shards   ingest shards (default 1, >= 1)\n"
+      "  depth    multi-day pipeline depth: 2 overlaps a day's close with\n"
+      "           the next day's ingest (default 1, >= 1)\n"
       "  --state <path>  checkpoint the detector to <path> after each day\n"
       "                  and restore from it on startup when present\n"
       "\n"
@@ -107,6 +110,7 @@ int main(int argc, char** argv) {
   double ts = 0.33;
   int threads = 1;
   int shards = 1;
+  int depth = 1;
   std::string state_path;
   std::string follow_path;
   int follow_day = 0;  // 0 = default to the first operation day
@@ -166,6 +170,7 @@ int main(int argc, char** argv) {
       case 2: ok = parse_double_arg(arg, ts); break;
       case 3: ok = parse_int_arg(arg, 1, threads); break;
       case 4: ok = parse_int_arg(arg, 1, shards); break;
+      case 5: ok = parse_int_arg(arg, 1, depth); break;
       default: ok = false; break;
     }
     if (!ok) {
@@ -189,11 +194,14 @@ int main(int argc, char** argv) {
   runner_config.pipeline.sim_threshold = ts;
   runner_config.pipeline.parallelism =
       core::Parallelism{static_cast<std::size_t>(threads),
-                        static_cast<std::size_t>(shards)};
+                        static_cast<std::size_t>(shards),
+                        static_cast<std::size_t>(depth)};
   eval::AcRunner runner(scenario, runner_config);
   api::Detector& detector = runner.detector();
-  std::printf("day-analysis engine: %d thread(s), %d ingest shard(s)\n",
-              threads, shards);
+  std::printf(
+      "day-analysis engine: %d thread(s), %d ingest shard(s), pipeline "
+      "depth %d\n",
+      threads, shards, depth);
 
   bool restored = false;
   if (!state_path.empty()) {

@@ -1,23 +1,79 @@
 #include "api/detector.h"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 #include <utility>
 
 #include "storage/state.h"
+#include "util/executor.h"
 
 namespace eid::api {
+
+namespace {
+
+/// One-in-flight day-commit slot behind the pipelined multi-day verbs.
+/// run() first drains the previous commit — commits execute strictly in
+/// day order, which is what keeps every history update and training row
+/// bit-identical to the sequential loop — then hands the new one to the
+/// pool, so the caller returns to ingesting the next day immediately.
+/// Sequential configurations (no executor, or pipeline_depth == 1) run
+/// each commit inline.
+class DayCommitQueue {
+ public:
+  DayCommitQueue(util::Executor* executor, std::size_t depth)
+      : executor_(depth > 1 ? executor : nullptr) {}
+
+  /// Unwinding mid-stream (a throwing source or commit) must not leave a
+  /// task referencing the pipeline in flight; its error, if any, is
+  /// already propagating.
+  ~DayCommitQueue() {
+    try {
+      drain();
+    } catch (...) {
+    }
+  }
+
+  void run(std::function<void()> commit) {
+    if (executor_ == nullptr) {
+      commit();
+      return;
+    }
+    drain();
+    pending_ = executor_->submit(std::move(commit));
+  }
+
+  /// Wait for the in-flight commit; rethrows anything it threw.
+  void drain() { pending_.wait(); }
+
+ private:
+  util::Executor* executor_ = nullptr;
+  util::Executor::TaskHandle pending_;
+};
+
+}  // namespace
 
 IngestReport Detector::ingest(EventSource& source) {
   IngestReport report;
   bool open = false;
   util::Day current = 0;
+  DayCommitQueue commits(pipeline_.executor(),
+                         source.concurrent_pull_safe()
+                             ? pipeline_.config().parallelism.pipeline_depth
+                             : 1);
   core::ProfileAccumulator accumulator = pipeline_.begin_profile();
+  const auto finish = [&] {
+    // The accumulator moves into the task; day N's history commit runs
+    // while day N+1 collects into a fresh one.
+    auto done =
+        std::make_shared<core::ProfileAccumulator>(std::move(accumulator));
+    commits.run([this, done] { pipeline_.finish_profile(std::move(*done)); });
+    ++report.days;
+  };
   while (auto chunk = source.next_chunk()) {
     if (open && chunk->day != current) {
-      pipeline_.finish_profile(std::move(accumulator));
+      finish();
       accumulator = pipeline_.begin_profile();
-      ++report.days;
     }
     open = true;
     current = chunk->day;
@@ -25,21 +81,35 @@ IngestReport Detector::ingest(EventSource& source) {
     ++report.chunks;
     report.events += chunk->events.size();
   }
-  if (open) {
-    pipeline_.finish_profile(std::move(accumulator));
-    ++report.days;
-  }
+  if (open) finish();
+  commits.drain();
   return report;
 }
 
 IngestReport Detector::ingest(EventSource& source, const core::LabelFn& intel) {
+  return analyze_days(
+      source, [this, &intel](util::Day, const core::DayAnalysis& analysis) {
+        pipeline_.train_from_analysis(analysis, intel);
+      });
+}
+
+IngestReport Detector::analyze_days(EventSource& source,
+                                    const DayAnalysisFn& commit) {
   IngestReport report;
   std::optional<core::DayAccumulator> accumulator;
+  DayCommitQueue commits(pipeline_.executor(),
+                         source.concurrent_pull_safe()
+                             ? pipeline_.config().parallelism.pipeline_depth
+                             : 1);
   const auto finish = [&] {
-    const core::DayAnalysis analysis =
-        pipeline_.finish_day(std::move(*accumulator));
-    pipeline_.train_from_analysis(analysis, intel);
-    pipeline_.update_histories(analysis.graph);
+    auto day_acc =
+        std::make_shared<core::DayAccumulator>(std::move(*accumulator));
+    commits.run([this, &commit, day_acc] {
+      const core::DayAnalysis analysis =
+          pipeline_.finish_day(std::move(*day_acc));
+      commit(analysis.day, analysis);
+      pipeline_.update_histories(analysis.graph);
+    });
     ++report.days;
   };
   while (auto chunk = source.next_chunk()) {
@@ -53,7 +123,19 @@ IngestReport Detector::ingest(EventSource& source, const core::LabelFn& intel) {
     report.events += chunk->events.size();
   }
   if (accumulator) finish();
+  commits.drain();
   return report;
+}
+
+std::vector<core::DayReport> Detector::run_days(EventSource& source,
+                                                const core::SocSeeds& seeds) {
+  std::vector<core::DayReport> reports;
+  analyze_days(source,
+               [&](util::Day, const core::DayAnalysis& analysis) {
+                 reports.push_back(pipeline_.report_day(analysis, seeds));
+                 ++days_operated_;
+               });
+  return reports;
 }
 
 core::DayAnalysis Detector::analyze_stream(EventSource& source,
@@ -107,8 +189,9 @@ bool Detector::save_state(const std::filesystem::path& path,
   state.training.models_ready = pipeline_.models_ready();
   state.intel_domains = &intel_domains_;
   state.counters.days_operated = days_operated_;
-  return storage::save_detector_state(
-      state, path, state.config->parallelism.threads, status);
+  return storage::save_detector_state(state, path,
+                                      state.config->parallelism.threads,
+                                      status, pipeline_.executor());
 }
 
 bool Detector::load_state(const std::filesystem::path& path,

@@ -46,6 +46,14 @@ struct IngestReport {
   std::size_t events = 0;
 };
 
+/// Per-day callback of Detector::analyze_days. With pipeline_depth > 1 it
+/// runs on an executor worker, overlapped with the *ingestion* of the
+/// following day — never concurrently with another commit, with the end of
+/// the stream, or with the caller between analyze_days calls — so it may
+/// freely mutate caller state it owns, but must not touch the EventSource.
+using DayAnalysisFn =
+    std::function<void(util::Day day, const core::DayAnalysis& analysis)>;
+
 class Detector {
  public:
   Detector(core::PipelineConfig config, const features::WhoisSource& whois)
@@ -55,12 +63,16 @@ class Detector {
 
   /// Stream days into the profiling stage: domain/UA histories only.
   /// Day boundaries come from the chunk tags; each day is committed to the
-  /// histories when its last chunk has been consumed.
+  /// histories when its last chunk has been consumed. With
+  /// parallelism.pipeline_depth > 1 each day's commit runs on the worker
+  /// pool while the next day's chunks are ingested (commits stay strictly
+  /// day-ordered — bit-identical histories).
   IngestReport ingest(EventSource& source);
 
   /// Stream labeled days into regression training: per day, incremental
   /// analysis, then C&C + similarity row extraction against `intel`, then
-  /// the end-of-day history update.
+  /// the end-of-day history update. Day-pipelined like the profiling
+  /// overload; training rows accumulate in day order either way.
   IngestReport ingest(EventSource& source, const core::LabelFn& intel);
 
   /// Fit the C&C and similarity regressions from the accumulated rows.
@@ -102,6 +114,21 @@ class Detector {
   /// The source is expected to carry a single day's traffic; the analysis
   /// is keyed by `day` regardless of chunk tags. No history update.
   core::DayAnalysis analyze_stream(EventSource& source, util::Day day) const;
+
+  /// Multi-day analysis over a day-tagged stream: per day, incremental
+  /// ingest, finish_day, `commit(day, analysis)` (threshold sweeps,
+  /// reporting — whatever the caller does with a day), then the end-of-day
+  /// history update. With parallelism.pipeline_depth > 1, day N's
+  /// finalize/commit/history stage runs on the pipeline's worker pool
+  /// while day N+1's chunks are ingested; commits stay strictly
+  /// day-ordered, so every result is bit-identical to the depth-1 loop
+  /// (see DayAnalysisFn for what `commit` may touch).
+  IngestReport analyze_days(EventSource& source, const DayAnalysisFn& commit);
+
+  /// Multi-day operation: analyze_days + report_day per day (the
+  /// day-pipelined equivalent of calling run_day per day).
+  std::vector<core::DayReport> run_days(EventSource& source,
+                                        const core::SocSeeds& seeds = {});
 
   /// Full operation day: analyze_stream + C&C detection + both BP modes +
   /// end-of-day history update (from the day graph — the raw events are

@@ -49,6 +49,15 @@ class EventSource {
   /// cannot rewind (e.g. forward-only simulators); the stream is then left
   /// unchanged.
   virtual bool reset() = 0;
+
+  /// Whether next_chunk() may run concurrently with detector compute over
+  /// *earlier* chunks (the pipeline_depth > 1 overlap of Detector's
+  /// multi-day verbs and the continuous engine). File/vector sources only
+  /// touch their own state and return true; SimSource returns false —
+  /// simulating the next day registers domains in the shared WHOIS
+  /// database the in-flight analysis reads. A false keeps results and
+  /// thread-safety intact by degrading that run to sequential day commits.
+  virtual bool concurrent_pull_safe() const { return true; }
 };
 
 /// Adapter for an in-memory day of events — the bridge from the legacy
@@ -102,6 +111,58 @@ class VectorSource final : public EventSource {
   std::size_t chunk_events_;
   std::size_t pos_ = 0;
   bool delivered_empty_ = false;
+};
+
+/// Adapter for an in-memory *run* of consecutive days — days[i] is day
+/// `first_day + i` — the multi-day sibling of VectorSource, and the
+/// natural feed for the day-pipelined verbs (Detector::analyze_days /
+/// run_days) and their benchmarks. Borrows the day vectors (they must
+/// outlive the source) and is rewindable, so one materialized workload
+/// can be replayed under many parallelism configurations. Empty days
+/// announce their boundary with one empty chunk, like VectorSource.
+class MultiDaySource final : public EventSource {
+ public:
+  MultiDaySource(util::Day first_day,
+                 const std::vector<std::vector<logs::ConnEvent>>* days,
+                 std::size_t chunk_events = kDefaultChunkEvents)
+      : first_day_(first_day), days_(days), chunk_events_(chunk_events) {}
+
+  std::optional<EventChunk> next_chunk() override {
+    while (day_index_ < days_->size()) {
+      const std::vector<logs::ConnEvent>& events = (*days_)[day_index_];
+      const util::Day day =
+          first_day_ + static_cast<util::Day>(day_index_);
+      if (events.empty()) {
+        ++day_index_;
+        pos_ = 0;
+        return EventChunk{day, {}};
+      }
+      if (pos_ >= events.size()) {
+        ++day_index_;
+        pos_ = 0;
+        continue;
+      }
+      const std::size_t step = chunk_events_ == 0 ? events.size() : chunk_events_;
+      const std::size_t count = std::min(step, events.size() - pos_);
+      EventChunk chunk{day, std::span(events.data() + pos_, count)};
+      pos_ += count;
+      return chunk;
+    }
+    return std::nullopt;
+  }
+
+  bool reset() override {
+    day_index_ = 0;
+    pos_ = 0;
+    return true;
+  }
+
+ private:
+  util::Day first_day_;
+  const std::vector<std::vector<logs::ConnEvent>>* days_;
+  std::size_t chunk_events_;
+  std::size_t day_index_ = 0;
+  std::size_t pos_ = 0;
 };
 
 }  // namespace eid::api

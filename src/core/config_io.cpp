@@ -85,6 +85,8 @@ ConfigParseResult parse_pipeline_config(const std::string& text) {
       parse_count(value, cfg.parallelism.threads) || (bad_value(), false);
     } else if (key == "shard_count") {
       parse_count(value, cfg.parallelism.shards) || (bad_value(), false);
+    } else if (key == "pipeline_depth") {
+      parse_count(value, cfg.parallelism.pipeline_depth) || (bad_value(), false);
     } else {
       result.unknown_keys.push_back(key);
     }
@@ -105,6 +107,7 @@ std::string format_pipeline_config(const PipelineConfig& config) {
   out << "bp_max_iterations = " << config.bp_max_iterations << "\n";
   out << "analysis_threads = " << config.parallelism.threads << "\n";
   out << "shard_count = " << config.parallelism.shards << "\n";
+  out << "pipeline_depth = " << config.parallelism.pipeline_depth << "\n";
   return out.str();
 }
 

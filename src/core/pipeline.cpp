@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "util/executor.h"
+
 namespace eid::core {
 namespace {
 
@@ -36,6 +38,22 @@ Pipeline::Pipeline(PipelineConfig config, const features::WhoisSource& whois)
       ua_history_(config.ua_rare_threshold) {
   cc_model_.threshold = config.cc_threshold;
   sim_model_.threshold = config.sim_threshold;
+  rebuild_executor();
+}
+
+void Pipeline::rebuild_executor() {
+  const Parallelism& p = config_.parallelism;
+  // The widest fan-out is max(threads, shards) ranges, one of which the
+  // calling thread runs itself; day pipelining needs one more worker to
+  // carry the in-flight commit while the caller ingests.
+  std::size_t workers = std::max({p.threads, p.shards, std::size_t{1}}) - 1;
+  if (p.pipeline_depth > 1) ++workers;
+  if (workers == 0) {
+    executor_.reset();
+    return;
+  }
+  if (executor_ && executor_->worker_count() == workers) return;
+  executor_ = std::make_shared<util::Executor>(workers);
 }
 
 void Pipeline::profile_day(const std::vector<logs::ConnEvent>& events) {
@@ -93,7 +111,8 @@ DayAnalysis Pipeline::finish_day(DayAccumulator&& accumulator) const {
 
   stage_start = clock::now();
   profile::RareExtraction rare = profile::extract_rare_destinations(
-      analysis.graph, domain_history_, config_.popularity_threshold, threads);
+      analysis.graph, domain_history_, config_.popularity_threshold, threads,
+      executor_.get());
   if (top_sites_ != nullptr) {
     rare.rare_domains =
         profile::filter_top_sites(analysis.graph, rare.rare_domains, *top_sites_);
@@ -106,7 +125,7 @@ DayAnalysis Pipeline::finish_day(DayAccumulator&& accumulator) const {
   stage_start = clock::now();
   const timing::PeriodicityDetector detector(config_.periodicity);
   analysis.automation = features::AutomationAnalysis::analyze(
-      analysis.graph, rare.rare_domains, detector, threads);
+      analysis.graph, rare.rare_domains, detector, threads, executor_.get());
   analysis.stage_seconds.automation = seconds_since(stage_start);
   if (whois_samples_ > 0) {
     analysis.whois_defaults.age_days =

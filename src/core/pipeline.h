@@ -26,6 +26,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -37,6 +38,10 @@
 #include "profile/domain_history.h"
 #include "profile/top_sites.h"
 #include "profile/ua_history.h"
+
+namespace eid::util {
+class Executor;
+}
 
 namespace eid::core {
 
@@ -52,6 +57,15 @@ struct Parallelism {
   /// Host-hash ingest shards inside DayAccumulator (independent builders,
   /// no locks; merged deterministically in finish_day).
   std::size_t shards = 1;
+  /// Day-pipelining depth for the multi-day streaming verbs
+  /// (api::Detector::ingest / analyze_days / run_continuous). 1 runs each
+  /// day's finalize/score/commit stage inline between ingests; 2 overlaps
+  /// that stage of day N with day N+1's ingest on the pipeline's executor
+  /// (commits stay strictly day-ordered, so — like the other knobs —
+  /// every report is bit-identical for any value). Values above 2 behave
+  /// as 2: rare extraction reads the histories day N commits, so at most
+  /// one commit can be in flight.
+  std::size_t pipeline_depth = 1;
 };
 
 struct PipelineConfig {
@@ -158,8 +172,9 @@ class DayAccumulator {
 
  private:
   friend class Pipeline;
-  DayAccumulator(util::Day day, std::size_t shards)
-      : day_(day), graph_(shards) {}
+  DayAccumulator(util::Day day, std::size_t shards,
+                 std::shared_ptr<util::Executor> executor)
+      : day_(day), graph_(shards, std::move(executor)) {}
 
   util::Day day_;
   graph::DayGraph graph_;
@@ -275,8 +290,12 @@ class Pipeline {
   }
 
   /// Replace the configuration wholesale (checkpoint restore). The WHOIS
-  /// source reference and accumulated histories are unchanged.
-  void set_config(const PipelineConfig& config) { config_ = config; }
+  /// source reference and accumulated histories are unchanged; the worker
+  /// pool is resized to the restored Parallelism.
+  void set_config(const PipelineConfig& config) {
+    config_ = config;
+    rebuild_executor();
+  }
 
   /// Replace both histories with restored state.
   void restore_histories(profile::DomainHistory domains, profile::UaHistory uas) {
@@ -302,16 +321,26 @@ class Pipeline {
                           util::Day day) const;
 
   /// Start incremental analysis of one day (streaming ingestion). The
-  /// accumulator shards by host hash per config().parallelism.shards.
+  /// accumulator shards by host hash per config().parallelism.shards and
+  /// shares the pipeline's worker pool (it keeps the pool alive, so a
+  /// concurrent set_parallelism cannot pull it out from under a day in
+  /// flight).
   DayAccumulator begin_day(util::Day day) const {
-    return DayAccumulator(day, config_.parallelism.shards);
+    return DayAccumulator(day, config_.parallelism.shards, executor_);
   }
 
   /// Retune the parallel knobs without rebuilding the pipeline (results
-  /// are bit-identical for any values, so this is always safe).
+  /// are bit-identical for any values, so this is always safe). Resizes
+  /// the worker pool.
   void set_parallelism(Parallelism parallelism) {
     config_.parallelism = parallelism;
+    rebuild_executor();
   }
+
+  /// The persistent worker pool behind every parallel stage — nullptr for
+  /// a fully sequential configuration (threads, shards and pipeline_depth
+  /// all 1), where every fan-out degrades to an inline loop.
+  util::Executor* executor() const { return executor_.get(); }
 
   /// Finalize an incremental day: graph views, rare extraction, automation
   /// analysis, WHOIS defaults. Identical to analyze_day() over the
@@ -362,8 +391,12 @@ class Pipeline {
   DayState make_state(const DayAnalysis& analysis) const;
   BpRunReport report_from(const graph::DayGraph& graph,
                           const BpResult& result) const;
+  void rebuild_executor();
 
   PipelineConfig config_;
+  /// Shared with live DayAccumulators (begin_day) so reconfiguration never
+  /// destroys a pool that still has a day's shards wired to it.
+  std::shared_ptr<util::Executor> executor_;
   const features::WhoisSource& whois_;
   const profile::TopSitesList* top_sites_ = nullptr;
   profile::DomainHistory domain_history_;

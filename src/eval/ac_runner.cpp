@@ -31,13 +31,12 @@ core::TrainingReport AcRunner::train() {
 }
 
 void AcRunner::run_operation(const DayCallback& callback) {
-  for (util::Day day = scenario_.operation_begin();
-       day <= scenario_.operation_end(); ++day) {
-    api::SimSource source(scenario_.simulator(), day, day);
-    const core::DayAnalysis analysis = detector_.analyze_stream(source, day);
-    callback(day, analysis);
-    detector_.update_histories(analysis);
-  }
+  // One day-pipelined pass over the whole operation window: with
+  // pipeline_depth > 1 each day's analysis + callback (the threshold
+  // sweeps) overlaps the simulation of the next day.
+  api::SimSource source(scenario_.simulator(), scenario_.operation_begin(),
+                        scenario_.operation_end());
+  detector_.analyze_days(source, callback);
 }
 
 AcRunner::MonthReport AcRunner::run_month(double tc, double ts_nohint,

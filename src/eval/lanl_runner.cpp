@@ -102,28 +102,32 @@ void LanlRunner::finish_day(util::Day day) {
 LanlChallengeResult LanlRunner::run_challenge() {
   bootstrap();
   LanlChallengeResult result;
-  for (util::Day day = scenario_.challenge_begin();
-       day <= scenario_.challenge_end(); ++day) {
-    const auto events = scenario_.simulator().reduced_day(day);
-    const auto it = std::find_if(
-        scenario_.cases().begin(), scenario_.cases().end(),
-        [day](const sim::LanlCase& c) { return c.day == day; });
-    if (it != scenario_.cases().end()) {
-      const core::DayAnalysis analysis = analyze_events(events, day);
-      LanlDayResult day_result = run_case(*it, analysis);
-      const int case_id = it->case_id;
-      if (it->training) {
-        result.per_case_training[case_id] += day_result.counts;
-        result.training_total += day_result.counts;
-      } else {
-        result.per_case_testing[case_id] += day_result.counts;
-        result.testing_total += day_result.counts;
-      }
-      result.total += day_result.counts;
-      result.days.push_back(std::move(day_result));
-    }
-    update_history_events(events);
-  }
+  // One pass over the challenge window through the detector's multi-day
+  // verb: every day is analyzed (case days additionally scored against
+  // their challenge) and committed to the histories from its day graph —
+  // equivalent to the old per-day events-form update, since the graph
+  // folds exactly the day's events. The analysis fan-outs run on the
+  // detector's persistent worker pool.
+  api::SimSource source(scenario_.simulator(), scenario_.challenge_begin(),
+                        scenario_.challenge_end());
+  detector_.analyze_days(
+      source, [&](util::Day day, const core::DayAnalysis& analysis) {
+        const auto it = std::find_if(
+            scenario_.cases().begin(), scenario_.cases().end(),
+            [day](const sim::LanlCase& c) { return c.day == day; });
+        if (it == scenario_.cases().end()) return;
+        LanlDayResult day_result = run_case(*it, analysis);
+        const int case_id = it->case_id;
+        if (it->training) {
+          result.per_case_training[case_id] += day_result.counts;
+          result.training_total += day_result.counts;
+        } else {
+          result.per_case_testing[case_id] += day_result.counts;
+          result.testing_total += day_result.counts;
+        }
+        result.total += day_result.counts;
+        result.days.push_back(std::move(day_result));
+      });
   return result;
 }
 

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "util/parallel.h"
+#include "util/executor.h"
 
 namespace eid::features {
 
@@ -41,13 +41,14 @@ std::vector<AutomatedPair> analyze_domain(
 
 AutomationAnalysis AutomationAnalysis::analyze(
     const graph::DayGraph& graph, std::span<const graph::DomainId> candidates,
-    const timing::PeriodicityDetector& detector, std::size_t n_threads) {
+    const timing::PeriodicityDetector& detector, std::size_t n_threads,
+    util::Executor* executor) {
   // Per-candidate result slots keep the merge order independent of thread
   // scheduling; the shared deterministic fan-out partitions the candidate
   // range (same helper as CSR finalize and rare extraction).
   std::vector<std::vector<AutomatedPair>> slots(candidates.size());
   util::parallel_ranges(
-      candidates.size(), n_threads,
+      executor, candidates.size(), n_threads,
       [&](std::size_t, std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
           slots[i] = analyze_domain(graph, candidates[i], detector);

@@ -4,7 +4,7 @@
 #include <cassert>
 #include <cstdlib>
 
-#include "util/parallel.h"
+#include "util/executor.h"
 
 namespace eid::graph {
 
@@ -57,10 +57,10 @@ void DayGraph::add_events(std::span<const logs::ConnEvent> events) {
   }
   if (events.empty()) return;
   // Small batches (and the one-shard case) dispatch directly — staging
-  // plus thread fan-out only pays off once per-shard interning outweighs
-  // thread spawn/join, from a couple thousand events per batch. Both
-  // paths consume identical per-shard sequences, so results do not depend
-  // on the cutoff. (A persistent worker pool is the ROADMAP follow-up.)
+  // plus fan-out only pays off once per-shard interning outweighs the
+  // dispatch cost, from a couple thousand events per batch. Both paths
+  // consume identical per-shard sequences, so results do not depend on
+  // the cutoff.
   if (shards_.size() == 1 || events.size() < 2048) {
     for (const logs::ConnEvent& event : events) {
       shards_[shard_of(event.host)].add_event(event, seq_++);
@@ -78,7 +78,7 @@ void DayGraph::add_events(std::span<const logs::ConnEvent> events) {
     staged_[shard_of(event.host)].push_back(Routed{&event, seq_++});
   }
   util::parallel_ranges(
-      shards_.size(), shards_.size(),
+      executor_.get(), shards_.size(), shards_.size(),
       [&](std::size_t, std::size_t begin, std::size_t end) {
         for (std::size_t s = begin; s < end; ++s) {
           for (const Routed& routed : staged_[s]) {
@@ -168,7 +168,8 @@ void DayGraph::finalize(std::size_t n_threads) {
   edge_index_.resize(n_edges);
   edge_data_.resize(n_edges);
   util::parallel_ranges(
-      n_edges, n_threads, [&](std::size_t, std::size_t begin, std::size_t end) {
+      executor_.get(), n_edges, n_threads,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
           const Staged& st = staged[i];
           DayShard::Edge& src = shards_[st.shard].edges_[st.slot];

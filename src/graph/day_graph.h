@@ -17,6 +17,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string_view>
@@ -27,6 +28,10 @@
 #include "util/interner.h"
 #include "util/ipv4.h"
 #include "util/time.h"
+
+namespace eid::util {
+class Executor;
+}
 
 namespace eid::graph {
 
@@ -89,8 +94,14 @@ class DayShard {
 class DayGraph {
  public:
   DayGraph() : DayGraph(1) {}
-  explicit DayGraph(std::size_t n_shards)
-      : shards_(n_shards == 0 ? 1 : n_shards) {}
+  /// `executor` (optional) carries the sharded ingest and finalize
+  /// fan-outs on a persistent worker pool instead of spawning threads;
+  /// core::Pipeline::begin_day wires its own pool through here. Results
+  /// are identical either way.
+  explicit DayGraph(std::size_t n_shards,
+                    std::shared_ptr<util::Executor> executor = nullptr)
+      : shards_(n_shards == 0 ? 1 : n_shards),
+        executor_(std::move(executor)) {}
 
   /// Ingest one event. Events may arrive in any order. Must not be called
   /// after finalize() — the ingest shards are consumed by the merge, so
@@ -189,6 +200,7 @@ class DayGraph {
 
   // ---- ingest state (consumed by finalize) ----
   std::vector<DayShard> shards_;
+  std::shared_ptr<util::Executor> executor_;  ///< nullptr = spawning fallback
   std::uint64_t seq_ = 0;  ///< global arrival counter
   struct Routed {
     const logs::ConnEvent* event = nullptr;

@@ -1,13 +1,14 @@
 #include "profile/domain_history.h"
 
-#include "util/parallel.h"
+#include "util/executor.h"
 
 namespace eid::profile {
 
 RareExtraction extract_rare_destinations(const graph::DayGraph& graph,
                                          const DomainHistory& history,
                                          std::size_t popularity_threshold,
-                                         std::size_t n_threads) {
+                                         std::size_t n_threads,
+                                         util::Executor* executor) {
   RareExtraction out;
   const std::size_t n = graph.domain_count();
   out.total_domains = n;
@@ -21,7 +22,8 @@ RareExtraction extract_rare_destinations(const graph::DayGraph& graph,
   };
   std::vector<RangeResult> ranges(util::range_count(n, n_threads));
   util::parallel_ranges(
-      n, n_threads, [&](std::size_t range, std::size_t begin, std::size_t end) {
+      executor, n, n_threads,
+      [&](std::size_t range, std::size_t begin, std::size_t end) {
         RangeResult& result = ranges[range];
         for (std::size_t i = begin; i < end; ++i) {
           const auto d = static_cast<graph::DomainId>(i);

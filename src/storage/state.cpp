@@ -5,7 +5,7 @@
 #include <unordered_set>
 
 #include "util/binary.h"
-#include "util/parallel.h"
+#include "util/executor.h"
 
 namespace eid::storage {
 namespace {
@@ -59,12 +59,13 @@ std::size_t common_prefix(std::string_view a, std::string_view b) {
 /// first entry stores a zero prefix), so the big string sets fan out over
 /// util::parallel_ranges with bit-stable output.
 std::string encode_string_table(const StringTable& table,
-                                std::size_t n_threads) {
+                                std::size_t n_threads,
+                                util::Executor* executor = nullptr) {
   const std::size_t n = table.size();
   const std::size_t n_blocks = (n + kFrontCodeBlock - 1) / kFrontCodeBlock;
   std::vector<std::string> blocks(n_blocks);
   util::parallel_ranges(
-      n_blocks, n_threads,
+      executor, n_blocks, n_threads,
       [&](std::size_t, std::size_t first, std::size_t last) {
         for (std::size_t b = first; b < last; ++b) {
           util::ByteWriter out;
@@ -667,7 +668,8 @@ DetectorStateView view_of(const DetectorState& state) {
 }
 
 std::string encode_detector_state(const DetectorStateView& state,
-                                  std::size_t n_threads) {
+                                  std::size_t n_threads,
+                                  util::Executor* executor) {
   const bool has_intel =
       state.intel_domains != nullptr && !state.intel_domains->empty();
   std::vector<std::string_view> all = domain_views(*state.domain_history);
@@ -689,7 +691,7 @@ std::string encode_detector_state(const DetectorStateView& state,
 
   ContainerWriter writer;
   writer.add_section(SectionId::StringTable,
-                     encode_string_table(table, n_threads));
+                     encode_string_table(table, n_threads, executor));
   writer.add_section(SectionId::Config, encode_config_section(*state.config));
   writer.add_section(
       SectionId::DomainHistory,
@@ -782,9 +784,10 @@ std::optional<DetectorState> decode_detector_state(std::string_view bytes,
 
 bool save_detector_state(const DetectorStateView& state,
                          const std::filesystem::path& path,
-                         std::size_t n_threads, LoadStatus* status) {
-  return write_file_atomic(path, encode_detector_state(state, n_threads),
-                           status);
+                         std::size_t n_threads, LoadStatus* status,
+                         util::Executor* executor) {
+  return write_file_atomic(
+      path, encode_detector_state(state, n_threads, executor), status);
 }
 
 std::optional<DetectorState> load_detector_state(

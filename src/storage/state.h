@@ -83,12 +83,15 @@ DetectorStateView view_of(const DetectorState& state);
 // ---- Full detector state ----
 
 /// Encode to container bytes. `n_threads` parallelizes the string-table
-/// encode (fixed block partition: the bytes are identical for any value).
+/// encode (fixed block partition: the bytes are identical for any value);
+/// `executor` (optional) carries that fan-out on a persistent pool.
 std::string encode_detector_state(const DetectorStateView& state,
-                                  std::size_t n_threads = 1);
+                                  std::size_t n_threads = 1,
+                                  util::Executor* executor = nullptr);
 inline std::string encode_detector_state(const DetectorState& state,
-                                         std::size_t n_threads = 1) {
-  return encode_detector_state(view_of(state), n_threads);
+                                         std::size_t n_threads = 1,
+                                         util::Executor* executor = nullptr) {
+  return encode_detector_state(view_of(state), n_threads, executor);
 }
 
 std::optional<DetectorState> decode_detector_state(std::string_view bytes,
@@ -98,12 +101,15 @@ std::optional<DetectorState> decode_detector_state(std::string_view bytes,
 bool save_detector_state(const DetectorStateView& state,
                          const std::filesystem::path& path,
                          std::size_t n_threads = 1,
-                         LoadStatus* status = nullptr);
+                         LoadStatus* status = nullptr,
+                         util::Executor* executor = nullptr);
 inline bool save_detector_state(const DetectorState& state,
                                 const std::filesystem::path& path,
                                 std::size_t n_threads = 1,
-                                LoadStatus* status = nullptr) {
-  return save_detector_state(view_of(state), path, n_threads, status);
+                                LoadStatus* status = nullptr,
+                                util::Executor* executor = nullptr) {
+  return save_detector_state(view_of(state), path, n_threads, status,
+                             executor);
 }
 
 std::optional<DetectorState> load_detector_state(

@@ -6,13 +6,20 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
 namespace eid::util {
 
 namespace detail {
+
+/// Every std::thread this module ever constructs (parallel_ranges spawns
+/// + Executor workers) — the observable tests use to prove the persistent
+/// pool eliminated per-day thread construction.
+inline std::atomic<std::uint64_t> thread_spawns{0};
 
 /// The one source of truth for the partition of [0, n) into contiguous
 /// ranges: both the fan-out and range_count derive from it, so per-range
@@ -47,6 +54,7 @@ void parallel_ranges(std::size_t n, std::size_t n_threads, Fn&& fn) {
   }
   std::vector<std::thread> pool;
   pool.reserve(ranges - 1);
+  detail::thread_spawns.fetch_add(ranges - 1, std::memory_order_relaxed);
   for (std::size_t w = 1; w < ranges; ++w) {
     const std::size_t begin = w * chunk;
     const std::size_t end = std::min(begin + chunk, n);
@@ -62,6 +70,14 @@ void parallel_ranges(std::size_t n, std::size_t n_threads, Fn&& fn) {
 /// size per-range result slots with this before fanning out.
 inline std::size_t range_count(std::size_t n, std::size_t n_threads) {
   return detail::partition_ranges(n, n_threads).ranges;
+}
+
+/// Monotonic count of threads this process constructed for parallel work
+/// (fan-out spawns and util::Executor workers alike). In steady state —
+/// an executor wired through every stage — this must stay flat across
+/// days; tests/determinism_test.cpp asserts it.
+inline std::uint64_t thread_spawn_count() {
+  return detail::thread_spawns.load(std::memory_order_relaxed);
 }
 
 }  // namespace eid::util

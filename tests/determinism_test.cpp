@@ -3,11 +3,14 @@
 // experiment in this repository reproducible.
 #include <gtest/gtest.h>
 
+#include "api/detector.h"
+#include "api/event_source.h"
 #include "core/pipeline.h"
 #include "core/report_json.h"
 #include "eval/lanl_runner.h"
 #include "sim/ac.h"
 #include "test_helpers.h"
+#include "util/parallel.h"
 
 namespace eid {
 namespace {
@@ -70,6 +73,71 @@ TEST(DeterminismTest, ParallelismDoesNotChangeReports) {
       }
     }
   }
+}
+
+TEST(DeterminismTest, DayPipelinedMultiDayRunsAreBitIdentical) {
+  // The full parallelism surface — worker threads, ingest shards and the
+  // multi-day pipeline depth — is pure performance: every DayReport of a
+  // multi-day run must be bit-identical across all of it.
+  test::MapWhois whois;
+  whois.add("beacon.ru", 95, 400);
+  std::vector<std::vector<logs::ConnEvent>> days;
+  for (util::Day day = 100; day < 104; ++day) {
+    days.push_back(synthetic_day(day));
+  }
+
+  std::string baseline;
+  for (const std::size_t depth : {1u, 2u}) {
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      for (const std::size_t shards : {1u, 4u}) {
+        core::PipelineConfig config;
+        config.parallelism = core::Parallelism{threads, shards, depth};
+        api::Detector detector(config, whois);
+        auto profile = synthetic_day(99);
+        api::VectorSource bootstrap(99, &profile);
+        detector.ingest(bootstrap);
+        api::MultiDaySource source(100, &days);
+        const std::vector<core::DayReport> reports = detector.run_days(source);
+        ASSERT_EQ(reports.size(), days.size());
+        std::string all;
+        for (const core::DayReport& report : reports) {
+          all += core::day_report_to_json(report);
+        }
+        if (baseline.empty()) {
+          baseline = all;
+        } else {
+          EXPECT_EQ(all, baseline) << threads << " threads, " << shards
+                                   << " shards, depth " << depth;
+        }
+      }
+    }
+  }
+}
+
+TEST(DeterminismTest, SteadyStateSpawnsNoThreads) {
+  // The persistent-executor contract: after the pool is built, multi-day
+  // operation constructs zero further threads — every fan-out and day
+  // commit rides the same workers.
+  test::MapWhois whois;
+  whois.add("beacon.ru", 95, 400);
+  std::vector<std::vector<logs::ConnEvent>> warmup_days{synthetic_day(100)};
+  std::vector<std::vector<logs::ConnEvent>> more_days;
+  for (util::Day day = 101; day < 105; ++day) {
+    more_days.push_back(synthetic_day(day));
+  }
+
+  core::PipelineConfig config;
+  config.parallelism = core::Parallelism{8, 4, 2};
+  api::Detector detector(config, whois);
+  api::MultiDaySource warmup(100, &warmup_days);
+  detector.run_days(warmup);
+
+  const std::uint64_t spawned = util::thread_spawn_count();
+  api::MultiDaySource source(101, &more_days);
+  const auto reports = detector.run_days(source);
+  EXPECT_EQ(reports.size(), more_days.size());
+  EXPECT_EQ(util::thread_spawn_count(), spawned)
+      << "steady-state days must not construct threads";
 }
 
 TEST(DeterminismTest, AcScenarioReducedDaysAreStable) {

@@ -98,18 +98,20 @@ std::vector<TrainingDay> training_days(MapWhois& whois,
 }
 
 core::PipelineConfig test_config(std::size_t threads = 1,
-                                 std::size_t shards = 1) {
+                                 std::size_t shards = 1,
+                                 std::size_t depth = 1) {
   core::PipelineConfig config;
   config.ua_rare_threshold = 3;
-  config.parallelism = core::Parallelism{threads, shards};
+  config.parallelism = core::Parallelism{threads, shards, depth};
   return config;
 }
 
 /// A detector profiled and trained on the shared fixture world.
 api::Detector trained_detector(MapWhois& whois, const core::LabelFn& intel,
                                const std::vector<TrainingDay>& train,
-                               std::size_t threads, std::size_t shards) {
-  api::Detector detector(test_config(threads, shards), whois);
+                               std::size_t threads, std::size_t shards,
+                               std::size_t depth = 1) {
+  api::Detector detector(test_config(threads, shards, depth), whois);
   for (const util::Day day : {kDay - 4, kDay - 3}) {
     api::VectorSource source(day, browsing_day(day));
     detector.ingest(source);
@@ -155,34 +157,40 @@ TEST(RtContinuousTest, DayCloseBitIdenticalToRunDayAcrossTicksThreadsShards) {
                                   std::int64_t{86400}}) {
     for (const std::size_t threads : {1u, 8u}) {
       for (const std::size_t shards : {1u, 4u}) {
-        SCOPED_TRACE("tick " + std::to_string(tick) + ", threads " +
-                     std::to_string(threads) + ", shards " +
-                     std::to_string(shards));
-        api::Detector detector =
-            trained_detector(whois, intel, train, threads, shards);
-        EngineConfig config;
-        config.window.tick_seconds = tick;
-        config.seeds = soc_seeds();
-        api::VectorSource source(kDay, &events);
-        const ContinuousReport report =
-            detector.run_continuous(source, config);
+        // Depth 2 drives the pipelined close: finish_day/report_day run on
+        // a worker and the history commit lands at the next join point —
+        // the report must still match the batch baseline byte for byte.
+        for (const std::size_t depth : {1u, 2u}) {
+          SCOPED_TRACE("tick " + std::to_string(tick) + ", threads " +
+                       std::to_string(threads) + ", shards " +
+                       std::to_string(shards) + ", depth " +
+                       std::to_string(depth));
+          api::Detector detector =
+              trained_detector(whois, intel, train, threads, shards, depth);
+          EngineConfig config;
+          config.window.tick_seconds = tick;
+          config.seeds = soc_seeds();
+          api::VectorSource source(kDay, &events);
+          const ContinuousReport report =
+              detector.run_continuous(source, config);
 
-        ASSERT_EQ(report.days.size(), 1u);
-        EXPECT_EQ(core::day_report_to_json(report.days[0]), baseline);
-        EXPECT_EQ(report.stats.events, events.size());
-        EXPECT_EQ(report.stats.days_closed, 1u);
-        EXPECT_EQ(detector.days_operated(), 1u);
+          ASSERT_EQ(report.days.size(), 1u);
+          EXPECT_EQ(core::day_report_to_json(report.days[0]), baseline);
+          EXPECT_EQ(report.stats.events, events.size());
+          EXPECT_EQ(report.stats.days_closed, 1u);
+          EXPECT_EQ(detector.days_operated(), 1u);
 
-        // Finalized emissions always fire (fresh campaign); provisional
-        // ones require at least one tick boundary inside the day.
-        EXPECT_GT(report.emissions.size(), 0u);
-        if (tick < 86400) {
-          EXPECT_GT(report.stats.provisional_emissions, 0u);
-        }
-        for (const IncidentEmission& emission : report.emissions) {
-          EXPECT_GE(emission.latency_seconds, 0);
-          EXPECT_EQ(emission.emission_time - emission.event_time,
-                    emission.latency_seconds);
+          // Finalized emissions always fire (fresh campaign); provisional
+          // ones require at least one tick boundary inside the day.
+          EXPECT_GT(report.emissions.size(), 0u);
+          if (tick < 86400) {
+            EXPECT_GT(report.stats.provisional_emissions, 0u);
+          }
+          for (const IncidentEmission& emission : report.emissions) {
+            EXPECT_GE(emission.latency_seconds, 0);
+            EXPECT_EQ(emission.emission_time - emission.event_time,
+                      emission.latency_seconds);
+          }
         }
       }
     }
