@@ -9,6 +9,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -16,6 +17,11 @@
 #include "sim/lanl.h"
 
 namespace eid::bench {
+
+/// Host core count for the BENCH_perf.json record — timings from a
+/// 1-core CI runner and a 16-core workstation are not comparable, so
+/// every section stamps the hardware it ran on.
+inline unsigned cpu_cores() { return std::thread::hardware_concurrency(); }
 
 /// Parse "--json" / "--json=path" out of argv (removing it); returns the
 /// output path ("" when the flag is absent). The default path is relative

@@ -167,7 +167,8 @@ int main(int argc, char** argv) {
     std::ostringstream body;
     body.precision(6);
     body << "{\n"
-         << "    \"day_events\": " << events.size()
+         << "    \"cpu_cores\": " << eid::bench::cpu_cores()
+         << ",\n    \"day_events\": " << events.size()
          << ",\n    \"batch_seconds\": " << batch_seconds
          << ",\n    \"configs\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {

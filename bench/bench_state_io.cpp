@@ -281,6 +281,7 @@ int main(int argc, char** argv) {
     std::ostringstream body;
     body.precision(6);
     body << "{\n"
+         << "    \"cpu_cores\": " << eid::bench::cpu_cores() << ",\n"
          << "    \"corpus\": {\"domains\": " << corpus.n_domains
          << ", \"uas\": " << corpus.n_uas << ", \"hosts\": " << corpus.n_hosts
          << "},\n"

@@ -22,16 +22,27 @@
 // re-scoring a sliding window every --tick seconds and printing
 // provisional incidents live as they cross the detection thresholds —
 // with the authoritative (batch-identical) day report at day close.
+//
+// --metrics-out <path> keeps a Prometheus text-exposition snapshot of the
+// process metrics registry at <path> (atomic tmp + rename; point the
+// node-exporter textfile collector at it). --trace-out <path> writes a
+// Chrome trace-event JSON of every pipeline/executor/rt span — open it in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. Batch mode rewrites
+// both after every day; --follow refreshes them every ~2 s of wall time.
 #include <charconv>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "api/sources.h"
 #include "eval/ac_runner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rt/engine.h"
 #include "storage/state.h"
 
@@ -64,8 +75,32 @@ void print_usage(const char* argv0) {
       "  --idle-exit <n>     exit after n consecutive empty polls\n"
       "                      (default 0 = follow forever)\n"
       "  --poll-ms <ms>      sleep between empty polls (default 200)\n"
+      "\n"
+      "observability:\n"
+      "  --metrics-out <path>  keep a Prometheus text snapshot of the\n"
+      "                        process metrics at <path> (rewritten per day,\n"
+      "                        or every ~2 s in --follow mode)\n"
+      "  --trace-out <path>    write pipeline/executor/rt spans as Chrome\n"
+      "                        trace-event JSON to <path> (Perfetto-viewable)\n"
       "  --help   this message\n",
       argv0);
+}
+
+/// Atomic (tmp + rename) rewrite of the Prometheus metrics file, so a
+/// scraper never reads a torn exposition.
+bool write_metrics_file(const std::string& path) {
+  const std::string body = obs::to_prometheus(obs::metrics().snapshot());
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out) return false;
+    out << body;
+    out.flush();
+    if (!out) return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  return !ec;
 }
 
 /// Sim-time point as "YYYY-MM-DD hh:mm:ss" for live emission lines.
@@ -113,6 +148,8 @@ int main(int argc, char** argv) {
   int depth = 1;
   std::string state_path;
   std::string follow_path;
+  std::string metrics_path;
+  std::string trace_path;
   int follow_day = 0;  // 0 = default to the first operation day
   int tick_seconds = 300;
   int window_seconds = 86400;
@@ -142,6 +179,24 @@ int main(int argc, char** argv) {
         return 1;
       }
       follow_path = argv[++i];
+      continue;
+    }
+    if (std::strcmp(arg, "--metrics-out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --metrics-out needs a path\n");
+        print_usage(argv[0]);
+        return 1;
+      }
+      metrics_path = argv[++i];
+      continue;
+    }
+    if (std::strcmp(arg, "--trace-out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --trace-out needs a path\n");
+        print_usage(argv[0]);
+        return 1;
+      }
+      trace_path = argv[++i];
       continue;
     }
     const auto int_flag = [&](const char* name, int min_value,
@@ -179,6 +234,21 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+
+  // Observability sinks, live for the whole process so training, the day
+  // walk and --follow all land in one timeline.
+  obs::TraceSink trace_sink;
+  if (!trace_path.empty()) api::Detector::set_trace_sink(&trace_sink);
+  const auto flush_observability = [&] {
+    if (!metrics_path.empty() && !write_metrics_file(metrics_path)) {
+      std::fprintf(stderr, "warning: cannot write metrics to %s\n",
+                   metrics_path.c_str());
+    }
+    if (!trace_path.empty() && !trace_sink.write_chrome_json(trace_path)) {
+      std::fprintf(stderr, "warning: cannot write trace to %s\n",
+                   trace_path.c_str());
+    }
+  };
 
   sim::AcConfig world;
   world.n_hosts = 400;
@@ -304,6 +374,7 @@ int main(int argc, char** argv) {
                 follow_path.c_str(), util::format_day(day).c_str(),
                 tick_seconds, window_seconds);
     int idle = 0;
+    auto last_flush = std::chrono::steady_clock::now();
     while (idle_exit == 0 || idle < idle_exit) {
       if (engine.poll(source) == 0) {
         ++idle;
@@ -311,8 +382,14 @@ int main(int argc, char** argv) {
       } else {
         idle = 0;
       }
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_flush >= std::chrono::seconds(2)) {
+        flush_observability();
+        last_flush = now;
+      }
     }
     engine.finish();
+    flush_observability();
     const rt::EngineStats& stats = engine.stats();
     std::printf("\nfollow stats: %zu events in %zu chunks, %zu ticks closed "
                 "(%zu evaluated), %zu day(s) closed, %zu provisional + %zu "
@@ -328,6 +405,7 @@ int main(int argc, char** argv) {
         std::printf("[checkpoint] state saved to %s\n", state_path.c_str());
       }
     }
+    flush_observability();
     return 0;
   }
 
@@ -398,9 +476,17 @@ int main(int argc, char** argv) {
                      status.detail.c_str());
       }
     }
+    flush_observability();
   }
   std::printf("\nmonitoring complete. (Ground truth lives in the scenario — "
               "in production these reports go to the SOC for manual "
               "investigation, §VI-B.)\n");
+  const api::HealthSnapshot health = detector.health_snapshot();
+  std::printf("health: %zu day(s) operated, %llu event(s) ingested, "
+              "executor %zu worker(s)\n",
+              health.days_operated,
+              static_cast<unsigned long long>(health.events_ingested),
+              health.executor_workers);
+  flush_observability();
   return 0;
 }

@@ -225,4 +225,19 @@ void Detector::restore_state(storage::DetectorState state) {
   days_operated_ = static_cast<std::size_t>(state.counters.days_operated);
 }
 
+HealthSnapshot Detector::health_snapshot() const {
+  obs::MetricsRegistry& registry = obs::metrics();
+  HealthSnapshot health;
+  health.days_operated = days_operated_;
+  health.events_ingested = registry.counter("eid_ingest_events_total").value();
+  health.last_tick_seconds = registry.gauge("eid_rt_last_tick_seconds").value();
+  health.rt_backlog_events =
+      registry.gauge("eid_rt_poll_backlog_events").value();
+  health.executor_queue_depth =
+      registry.gauge("eid_executor_queue_depth").value();
+  const util::Executor* executor = pipeline_.executor();
+  health.executor_workers = executor != nullptr ? executor->worker_count() : 0;
+  return health;
+}
+
 }  // namespace eid::api

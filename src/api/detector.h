@@ -24,6 +24,8 @@
 
 #include "api/event_source.h"
 #include "core/pipeline.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/status.h"
 
 namespace eid::storage {
@@ -44,6 +46,19 @@ struct IngestReport {
   std::size_t days = 0;
   std::size_t chunks = 0;
   std::size_t events = 0;
+};
+
+/// One glanceable runtime-health view for a supervisor or status endpoint,
+/// assembled from this detector's counters and the process metrics
+/// registry (so the executor/rt figures cover whatever pipeline this
+/// detector drives).
+struct HealthSnapshot {
+  std::size_t days_operated = 0;       ///< committed operation days
+  std::uint64_t events_ingested = 0;   ///< eid_ingest_events_total
+  double last_tick_seconds = 0.0;      ///< latest rt evaluation wall time
+  double rt_backlog_events = 0.0;      ///< events held by the rt window
+  double executor_queue_depth = 0.0;   ///< tasks queued, not yet picked up
+  std::size_t executor_workers = 0;    ///< pool size (0 = inline execution)
 };
 
 /// Per-day callback of Detector::analyze_days. With pipeline_depth > 1 it
@@ -179,6 +194,26 @@ class Detector {
 
   /// Completed operation days (run_day calls), restored by load_state().
   std::size_t days_operated() const { return days_operated_; }
+
+  // ---- Observability (obs/metrics.h, obs/trace.h) ----
+
+  /// Merged point-in-time view of the process metrics registry — render
+  /// with obs::to_prometheus or obs::to_json. Collection is on by
+  /// default; obs::metrics().set_enabled(false) reduces every probe to a
+  /// relaxed load + branch.
+  obs::MetricsSnapshot metrics_snapshot() const {
+    return obs::metrics().snapshot();
+  }
+
+  /// Install (or clear, with nullptr) the process-wide trace sink; every
+  /// pipeline stage, executor dispatch, rt tick and state save/load then
+  /// records a span. Pure side channel: reports stay bit-identical.
+  static void set_trace_sink(obs::TraceSink* sink) {
+    obs::set_trace_sink(sink);
+  }
+
+  /// Runtime health digest (see HealthSnapshot). Defined in detector.cpp.
+  HealthSnapshot health_snapshot() const;
 
   /// The underlying pipeline, for threshold sweeps (detect_cc,
   /// run_bp_nohint, ...) and model/history access.

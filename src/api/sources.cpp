@@ -4,8 +4,37 @@
 #include <utility>
 
 #include "logs/io.h"
+#include "obs/metrics.h"
 
 namespace eid::api {
+
+namespace {
+
+/// Ingestion accounting on the process registry, fed as deltas from the
+/// per-source Stats after each next_chunk() — the Stats structs remain
+/// the single source of truth; these are the fleet-wide totals.
+struct SourceMetrics {
+  obs::Counter& lines = obs::metrics().counter("eid_source_lines_total");
+  obs::Counter& parsed = obs::metrics().counter("eid_source_parsed_lines_total");
+  obs::Counter& malformed =
+      obs::metrics().counter("eid_source_malformed_lines_total");
+  obs::Counter& bytes = obs::metrics().counter("eid_source_bytes_total");
+  obs::Counter& events = obs::metrics().counter("eid_source_events_total");
+  obs::Gauge& partial_line =
+      obs::metrics().gauge("eid_source_partial_line_bytes");
+  obs::Counter& flows = obs::metrics().counter("eid_source_flows_total");
+  obs::Counter& flows_kept =
+      obs::metrics().counter("eid_source_flows_kept_total");
+  obs::Counter& flows_unattributed =
+      obs::metrics().counter("eid_source_flows_unattributed_total");
+};
+
+SourceMetrics& source_metrics() {
+  static SourceMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // TsvFileSource
@@ -39,6 +68,17 @@ void TsvFileSource::open() {
   stats_.opened = static_cast<bool>(file_);
 }
 
+void TsvFileSource::publish_stats() {
+  SourceMetrics& metrics = source_metrics();
+  metrics.lines.add(stats_.lines - published_.lines);
+  metrics.parsed.add(stats_.parsed - published_.parsed);
+  metrics.malformed.add(stats_.malformed - published_.malformed);
+  metrics.bytes.add(stats_.byte_offset - published_.byte_offset);
+  metrics.events.add(stats_.events - published_.events);
+  metrics.partial_line.set(static_cast<double>(stats_.partial_line_bytes));
+  published_ = stats_;
+}
+
 std::optional<EventChunk> TsvFileSource::next_chunk() {
   if (tail_) {
     // The file may not exist yet (collector not started): retry the open.
@@ -66,10 +106,14 @@ std::optional<EventChunk> TsvFileSource::next_chunk() {
         // Successful getline that hit eof = final line with no trailing
         // newline. In tail mode it may still be mid-write: leave it (and
         // the offset) for the next poll. Batch mode takes it as-is.
-        if (tail_) break;
+        if (tail_) {
+          stats_.partial_line_bytes = line.size();
+          break;
+        }
         stats_.byte_offset += line.size();
       } else {
         stats_.byte_offset += line.size() + 1;
+        stats_.partial_line_bytes = 0;
       }
       if (line.empty()) continue;
       ++stats_.lines;
@@ -97,9 +141,11 @@ std::optional<EventChunk> TsvFileSource::next_chunk() {
                   : logs::reduce_proxy(proxy_records, *leases_, proxy_reduction_);
     if (!buffer_.empty()) {
       stats_.events += buffer_.size();
+      publish_stats();
       return EventChunk{day_, buffer_};
     }
   }
+  publish_stats();
   // Day-boundary marker: a readable file whose lines all reduced away is
   // still an (empty) day, exactly like the legacy read-then-profile loop.
   // Not in tail mode — there the stream has no end, only "nothing yet".
@@ -114,6 +160,7 @@ bool TsvFileSource::reset() {
   file_.close();
   file_.clear();
   stats_ = Stats{};
+  published_ = Stats{};  // a replay's counts are new fleet-total increments
   buffer_.clear();
   empty_marker_sent_ = false;
   open();
@@ -170,6 +217,10 @@ std::optional<EventChunk> NetflowSource::next_chunk() {
     stats_.internal_destinations += chunk_stats.internal_destinations;
     stats_.unattributed += chunk_stats.unattributed;
     stats_.kept += chunk_stats.kept;
+    SourceMetrics& metrics = source_metrics();
+    metrics.flows.add(chunk_stats.total_flows);
+    metrics.flows_kept.add(chunk_stats.kept);
+    metrics.flows_unattributed.add(chunk_stats.unattributed);
     if (!buffer_.empty()) return EventChunk{day_, buffer_};
   }
   // Day-boundary marker for a day where no flow survived attribution.

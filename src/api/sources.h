@@ -48,6 +48,12 @@ class TsvFileSource final : public EventSource {
     /// resume point for tail mode, and an operator-visible progress
     /// cursor for batch replay.
     std::uint64_t byte_offset = 0;
+    /// Bytes of a partially written trailing line seen at the end of the
+    /// last tail-mode poll (no newline yet, so not parsed and not counted
+    /// malformed). 0 once the newline lands or outside tail mode. Lets an
+    /// operator distinguish "collector idle" from "collector stalled
+    /// mid-line" — also the eid_source_partial_line_bytes gauge.
+    std::size_t partial_line_bytes = 0;
     bool opened = false;
   };
 
@@ -77,12 +83,16 @@ class TsvFileSource final : public EventSource {
   /// or finish()).
   void set_tail(bool enabled) { tail_ = enabled; }
 
+  /// Per-source ingestion accounting. The same counts feed the process
+  /// metrics registry (eid_source_* series) as deltas after every
+  /// next_chunk() call; this struct stays the per-file view.
   const Stats& stats() const { return stats_; }
 
  private:
   enum class Format { Dns, Proxy };
 
   void open();
+  void publish_stats();
 
   std::filesystem::path path_;
   util::Day day_;
@@ -94,6 +104,7 @@ class TsvFileSource final : public EventSource {
 
   std::ifstream file_;
   Stats stats_;
+  Stats published_;  ///< registry counters already cover these amounts
   std::vector<logs::ConnEvent> buffer_;
   bool empty_marker_sent_ = false;
   bool tail_ = false;

@@ -3,10 +3,36 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/executor.h"
 
 namespace eid::core {
 namespace {
+
+/// Stage timing on the process registry. DayStageSeconds already measures
+/// finalize/rare/automation per day for DayAnalysis consumers; these
+/// histograms generalize that to a fleet view across every day any
+/// Pipeline in the process analyzes.
+struct PipelineMetrics {
+  obs::Counter& days = obs::metrics().counter("eid_pipeline_days_finished_total");
+  obs::Counter& events = obs::metrics().counter("eid_pipeline_day_events_total");
+  obs::Histogram& finalize = obs::metrics().histogram(
+      "eid_pipeline_finalize_seconds", obs::duration_buckets());
+  obs::Histogram& rare = obs::metrics().histogram("eid_pipeline_rare_seconds",
+                                                  obs::duration_buckets());
+  obs::Histogram& automation = obs::metrics().histogram(
+      "eid_pipeline_automation_seconds", obs::duration_buckets());
+  obs::Histogram& report = obs::metrics().histogram(
+      "eid_pipeline_report_seconds", obs::duration_buckets());
+  obs::Histogram& history = obs::metrics().histogram(
+      "eid_pipeline_history_commit_seconds", obs::duration_buckets());
+};
+
+PipelineMetrics& pipeline_metrics() {
+  static PipelineMetrics metrics;
+  return metrics;
+}
 
 ml::Matrix to_matrix(
     const std::vector<std::array<double, features::kCcFeatureCount>>& rows) {
@@ -61,6 +87,7 @@ void Pipeline::profile_day(const std::vector<logs::ConnEvent>& events) {
 }
 
 void Pipeline::finish_profile(ProfileAccumulator&& accumulator) {
+  const obs::TraceSpan span("profile_commit");
   domain_history_.update(
       {accumulator.domains_.begin(), accumulator.domains_.end()});
   for (const auto& [ua, hosts] : accumulator.ua_hosts_) {
@@ -76,6 +103,8 @@ void Pipeline::update_histories(const std::vector<logs::ConnEvent>& events) {
 }
 
 void Pipeline::update_histories(const graph::DayGraph& graph) {
+  const obs::TraceSpan span("history_commit");
+  const auto start = std::chrono::steady_clock::now();
   profile::update_history(domain_history_, graph);
   // for_each_edge visits in (host, domain) order; the histories only take
   // set unions, so they never depended on the old hash iteration order.
@@ -85,6 +114,9 @@ void Pipeline::update_histories(const graph::DayGraph& graph) {
       ua_history_.observe(graph.ua_name(ua), graph.host_name(host));
     }
   });
+  pipeline_metrics().history.observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
 }
 
 DayAnalysis Pipeline::analyze_day(const std::vector<logs::ConnEvent>& events,
@@ -100,33 +132,51 @@ DayAnalysis Pipeline::finish_day(DayAccumulator&& accumulator) const {
     return std::chrono::duration<double>(clock::now() - start).count();
   };
   const std::size_t threads = config_.parallelism.threads;
+  PipelineMetrics& metrics = pipeline_metrics();
+  const obs::TraceSpan day_span("finish_day");
 
   DayAnalysis analysis;
   analysis.day = accumulator.day_;
   analysis.event_count = accumulator.events_;
   analysis.graph = std::move(accumulator.graph_);
   auto stage_start = clock::now();
-  analysis.graph.finalize(threads);
+  {
+    const obs::TraceSpan span("csr_finalize");
+    analysis.graph.finalize(threads);
+  }
   analysis.stage_seconds.finalize = seconds_since(stage_start);
+  metrics.finalize.observe(analysis.stage_seconds.finalize);
 
   stage_start = clock::now();
-  profile::RareExtraction rare = profile::extract_rare_destinations(
-      analysis.graph, domain_history_, config_.popularity_threshold, threads,
-      executor_.get());
-  if (top_sites_ != nullptr) {
-    rare.rare_domains =
-        profile::filter_top_sites(analysis.graph, rare.rare_domains, *top_sites_);
+  profile::RareExtraction rare;
+  {
+    const obs::TraceSpan span("rare_extraction");
+    rare = profile::extract_rare_destinations(
+        analysis.graph, domain_history_, config_.popularity_threshold, threads,
+        executor_.get());
+    if (top_sites_ != nullptr) {
+      rare.rare_domains = profile::filter_top_sites(analysis.graph,
+                                                    rare.rare_domains,
+                                                    *top_sites_);
+    }
   }
   analysis.rare.insert(rare.rare_domains.begin(), rare.rare_domains.end());
   analysis.new_domains = rare.new_domains;
   analysis.total_domains = rare.total_domains;
   analysis.stage_seconds.rare = seconds_since(stage_start);
+  metrics.rare.observe(analysis.stage_seconds.rare);
 
   stage_start = clock::now();
   const timing::PeriodicityDetector detector(config_.periodicity);
-  analysis.automation = features::AutomationAnalysis::analyze(
-      analysis.graph, rare.rare_domains, detector, threads, executor_.get());
+  {
+    const obs::TraceSpan span("automation_scan");
+    analysis.automation = features::AutomationAnalysis::analyze(
+        analysis.graph, rare.rare_domains, detector, threads, executor_.get());
+  }
   analysis.stage_seconds.automation = seconds_since(stage_start);
+  metrics.automation.observe(analysis.stage_seconds.automation);
+  metrics.days.add(1);
+  metrics.events.add(analysis.event_count);
   if (whois_samples_ > 0) {
     analysis.whois_defaults.age_days =
         whois_age_sum_ / static_cast<double>(whois_samples_);
@@ -355,6 +405,8 @@ BpRunReport Pipeline::run_bp_sochints(const DayAnalysis& analysis,
 
 DayReport Pipeline::report_day(const DayAnalysis& analysis,
                                const SocSeeds& seeds) const {
+  const obs::TraceSpan day_span("report_day");
+  const auto report_start = std::chrono::steady_clock::now();
   DayReport report;
   report.day = analysis.day;
   report.events = analysis.event_count;
@@ -363,12 +415,23 @@ DayReport Pipeline::report_day(const DayAnalysis& analysis,
   report.rare_domains = analysis.rare.size();
   report.automated_pairs = analysis.automation.pair_count();
 
-  report.automated_scores = score_automated(analysis);
-  report.cc_domains = detect_cc(analysis);
-  report.nohint = run_bp_nohint(analysis, report.cc_domains);
+  {
+    const obs::TraceSpan span("score_automated");
+    report.automated_scores = score_automated(analysis);
+    report.cc_domains = detect_cc(analysis);
+  }
+  {
+    const obs::TraceSpan span("bp_nohint");
+    report.nohint = run_bp_nohint(analysis, report.cc_domains);
+  }
   if (!seeds.hosts.empty() || !seeds.domains.empty()) {
+    const obs::TraceSpan span("bp_sochints");
     report.sochints = run_bp_sochints(analysis, seeds);
   }
+  pipeline_metrics().report.observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    report_start)
+          .count());
   return report;
 }
 

@@ -4,9 +4,25 @@
 #include <cassert>
 #include <cstdlib>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/executor.h"
 
 namespace eid::graph {
+
+namespace {
+
+struct IngestMetrics {
+  obs::Counter& chunks = obs::metrics().counter("eid_ingest_chunks_total");
+  obs::Counter& events = obs::metrics().counter("eid_ingest_events_total");
+};
+
+IngestMetrics& ingest_metrics() {
+  static IngestMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 void DayShard::add_event(const logs::ConnEvent& event, std::uint64_t seq) {
   const util::InternId host = hosts_.intern(event.host, seq);
@@ -56,6 +72,10 @@ void DayGraph::add_events(std::span<const logs::ConnEvent> events) {
     std::abort();
   }
   if (events.empty()) return;
+  const obs::TraceSpan span("ingest_chunk", "ingest");
+  IngestMetrics& metrics = ingest_metrics();
+  metrics.chunks.add(1);
+  metrics.events.add(events.size());
   // Small batches (and the one-shard case) dispatch directly — staging
   // plus fan-out only pays off once per-shard interning outweighs the
   // dispatch cost, from a couple thousand events per batch. Both paths

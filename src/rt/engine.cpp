@@ -2,14 +2,42 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <utility>
 
 #include "graph/day_graph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace eid::rt {
 
 namespace {
+
+/// Real-time loop health on the process registry: how long a tick's
+/// re-score takes (wall), how far behind detection runs in sim time
+/// (event -> emission), and how much the sliding window is holding.
+struct RtMetrics {
+  obs::Counter& ticks = obs::metrics().counter("eid_rt_ticks_closed_total");
+  obs::Counter& evaluations = obs::metrics().counter("eid_rt_evaluations_total");
+  obs::Counter& days_closed = obs::metrics().counter("eid_rt_days_closed_total");
+  obs::Counter& provisional =
+      obs::metrics().counter("eid_rt_provisional_emissions_total");
+  obs::Counter& finalized =
+      obs::metrics().counter("eid_rt_finalized_emissions_total");
+  obs::Gauge& backlog = obs::metrics().gauge("eid_rt_poll_backlog_events");
+  obs::Gauge& window_buckets = obs::metrics().gauge("eid_rt_window_buckets");
+  obs::Gauge& last_tick = obs::metrics().gauge("eid_rt_last_tick_seconds");
+  obs::Histogram& tick_seconds = obs::metrics().histogram(
+      "eid_rt_tick_seconds", obs::duration_buckets());
+  obs::Histogram& emission_latency = obs::metrics().histogram(
+      "eid_rt_emission_latency_seconds", obs::latency_buckets());
+};
+
+RtMetrics& rt_metrics() {
+  static RtMetrics metrics;
+  return metrics;
+}
 
 // Earliest first-contact timestamp of the named domains in the analyzed
 // graph — the event time of the evidence behind an emission. 0 when none
@@ -100,6 +128,9 @@ std::size_t ContinuousEngine::poll(api::EventSource& source) {
     stats_.peak_buffered_events =
         std::max(stats_.peak_buffered_events, stats_.buffered_events);
   }
+  RtMetrics& metrics = rt_metrics();
+  metrics.backlog.set(static_cast<double>(window_.buffered_events()));
+  metrics.window_buckets.set(static_cast<double>(window_.bucket_count()));
   return consumed;
 }
 
@@ -150,7 +181,9 @@ void ContinuousEngine::evaluate_tick(std::int64_t tick) {
   // visible to this evaluation's finish_day, and its finalized emission
   // must precede this tick's provisional one — the sequential order.
   commit_close();
+  RtMetrics& metrics = rt_metrics();
   ++stats_.ticks_closed;
+  metrics.ticks.add(1);
   stats_.expired_events += window_.expire(tick);
   stats_.buffered_events = window_.buffered_events();
   if (!dirty_) return;  // nothing new since the last evaluation
@@ -159,6 +192,13 @@ void ContinuousEngine::evaluate_tick(std::int64_t tick) {
     return;
   }
   ++stats_.evaluations;
+  metrics.evaluations.add(1);
+  const obs::TraceSpan span("rt_tick_evaluate", "rt");
+  // The wall-clock read pair feeds eid_rt_tick_seconds and the
+  // last-tick-latency gauge; only pay for it when collection is on.
+  const bool timed = obs::metrics().enabled();
+  const auto tick_start = timed ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point{};
 
   // Re-score the sliding window through the exact batch stages: replay the
   // live buckets (arrival order) into a DayAccumulator, finalize, then C&C
@@ -185,11 +225,20 @@ void ContinuousEngine::evaluate_tick(std::int64_t tick) {
   }
   emit(analysis, domains, hosts, /*provisional=*/true, close, day);
   dirty_ = false;
+  if (timed) {
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      tick_start)
+            .count();
+    metrics.tick_seconds.observe(seconds);
+    metrics.last_tick.set(seconds);
+  }
 }
 
 void ContinuousEngine::close_day() {
   assert(open_day_);
   commit_close();  // at most one close in flight
+  const obs::TraceSpan span("rt_day_close", "rt");
   const util::Day day = *open_day_;
   core::Pipeline& pipeline = detector_.pipeline();
 
@@ -238,6 +287,7 @@ void ContinuousEngine::close_day() {
 
 void ContinuousEngine::commit_close() {
   if (!pending_close_) return;
+  const obs::TraceSpan span("rt_day_commit", "rt");
   PendingClose close = std::move(*pending_close_);
   pending_close_.reset();
   close.handle.wait();  // rethrows anything the compute half threw
@@ -248,6 +298,7 @@ void ContinuousEngine::commit_close() {
   pipeline.update_histories(analysis.graph);
   ++detector_.days_operated_;
   ++stats_.days_closed;
+  rt_metrics().days_closed.add(1);
 
   std::vector<std::string> domains;
   for (const auto& scored : report.cc_domains) domains.push_back(scored.name);
@@ -304,11 +355,16 @@ void ContinuousEngine::emit(const core::DayAnalysis& analysis,
       event_time == 0 ? 0 : emission_time - event_time;
   emission.domains = std::move(fresh);
   emission.hosts = hosts;
+  RtMetrics& metrics = rt_metrics();
   if (provisional) {
     ++stats_.provisional_emissions;
+    metrics.provisional.add(1);
   } else {
     ++stats_.finalized_emissions;
+    metrics.finalized.add(1);
   }
+  metrics.emission_latency.observe(
+      static_cast<double>(emission.latency_seconds));
   if (emission_sink_) emission_sink_(emission);
   emissions_.push_back(std::move(emission));
 }

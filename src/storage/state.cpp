@@ -1,9 +1,12 @@
 #include "storage/state.h"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/binary.h"
 #include "util/executor.h"
 
@@ -782,19 +785,63 @@ std::optional<DetectorState> decode_detector_state(std::string_view bytes,
   return state;
 }
 
+namespace {
+
+struct StateMetrics {
+  obs::Counter& saves = obs::metrics().counter("eid_state_saves_total");
+  obs::Counter& loads = obs::metrics().counter("eid_state_loads_total");
+  obs::Counter& saved_bytes =
+      obs::metrics().counter("eid_state_saved_bytes_total");
+  obs::Counter& loaded_bytes =
+      obs::metrics().counter("eid_state_loaded_bytes_total");
+  obs::Histogram& save_seconds = obs::metrics().histogram(
+      "eid_state_save_seconds", obs::duration_buckets());
+  obs::Histogram& load_seconds = obs::metrics().histogram(
+      "eid_state_load_seconds", obs::duration_buckets());
+};
+
+StateMetrics& state_metrics() {
+  static StateMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
 bool save_detector_state(const DetectorStateView& state,
                          const std::filesystem::path& path,
                          std::size_t n_threads, LoadStatus* status,
                          util::Executor* executor) {
-  return write_file_atomic(
-      path, encode_detector_state(state, n_threads, executor), status);
+  const obs::TraceSpan span("state_save", "storage");
+  const auto start = std::chrono::steady_clock::now();
+  const std::string bytes = encode_detector_state(state, n_threads, executor);
+  const bool ok = write_file_atomic(path, bytes, status);
+  StateMetrics& metrics = state_metrics();
+  if (ok) {
+    metrics.saves.add(1);
+    metrics.saved_bytes.add(bytes.size());
+  }
+  metrics.save_seconds.observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+  return ok;
 }
 
 std::optional<DetectorState> load_detector_state(
     const std::filesystem::path& path, LoadStatus* status) {
+  const obs::TraceSpan span("state_load", "storage");
+  const auto start = std::chrono::steady_clock::now();
   const auto bytes = read_file(path, status);
   if (!bytes) return std::nullopt;
-  return decode_detector_state(*bytes, status);
+  auto state = decode_detector_state(*bytes, status);
+  StateMetrics& metrics = state_metrics();
+  if (state) {
+    metrics.loads.add(1);
+    metrics.loaded_bytes.add(bytes->size());
+  }
+  metrics.load_seconds.observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+  return state;
 }
 
 // ---- Per-component files ----

@@ -5,6 +5,8 @@
 #include <limits>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace eid::util {
 
 namespace {
@@ -12,6 +14,27 @@ namespace {
 /// Set inside worker_loop so nested parallel helpers on a worker run
 /// inline instead of deadlocking on their own pool.
 thread_local const Executor* t_worker_of = nullptr;
+
+/// Pool health on the process registry (obs/metrics.h): how many tasks
+/// the workers carry, how long tasks sit queued before a worker picks
+/// them up, and whether a day-sized submit is occupying a worker — the
+/// signals a supervisor needs to see an under- or over-provisioned pool.
+struct ExecutorMetrics {
+  obs::Counter& dispatched =
+      obs::metrics().counter("eid_executor_tasks_dispatched_total");
+  obs::Counter& spawned =
+      obs::metrics().counter("eid_executor_threads_spawned_total");
+  obs::Gauge& queue_depth = obs::metrics().gauge("eid_executor_queue_depth");
+  obs::Gauge& long_tasks =
+      obs::metrics().gauge("eid_executor_long_tasks_inflight");
+  obs::Histogram& dispatch_latency = obs::metrics().histogram(
+      "eid_executor_dispatch_latency_seconds", obs::dispatch_buckets());
+};
+
+ExecutorMetrics& executor_metrics() {
+  static ExecutorMetrics metrics;
+  return metrics;
+}
 
 }  // namespace
 
@@ -48,6 +71,7 @@ Executor::Executor(std::size_t n_workers) {
   }
   for (std::size_t i = 0; i < n_workers; ++i) {
     detail::thread_spawns.fetch_add(1, std::memory_order_relaxed);
+    executor_metrics().spawned.add(1);
     threads_.emplace_back([this, i] { worker_loop(*workers_[i]); });
   }
 }
@@ -72,6 +96,14 @@ void Executor::worker_loop(Worker& worker) {
     if (head != worker.tail.load(std::memory_order_acquire)) {
       const RawTask task = worker.ring[head % Worker::kRing];
       worker.head.store(head + 1, std::memory_order_release);
+      const std::int64_t depth =
+          queued_.fetch_sub(1, std::memory_order_relaxed) - 1;
+      if (task.enqueue_us != 0) {
+        ExecutorMetrics& metrics = executor_metrics();
+        metrics.queue_depth.set(static_cast<double>(depth));
+        metrics.dispatch_latency.observe(
+            static_cast<double>(obs::trace_now_us() - task.enqueue_us) * 1e-6);
+      }
       task.run(task.ctx, task.arg);
       continue;
     }
@@ -85,6 +117,10 @@ void Executor::worker_loop(Worker& worker) {
 }
 
 bool Executor::try_push(Worker& worker, RawTask task) {
+  ExecutorMetrics& metrics = executor_metrics();
+  // The clock read is the costly part of dispatch timing; only pay it
+  // when collection is on (enqueue_us == 0 tells the consumer to skip).
+  if (obs::metrics().enabled()) task.enqueue_us = obs::trace_now_us();
   {
     std::lock_guard producers(worker.produce_mutex);
     const std::size_t tail = worker.tail.load(std::memory_order_relaxed);
@@ -94,9 +130,12 @@ bool Executor::try_push(Worker& worker, RawTask task) {
     worker.ring[tail % Worker::kRing] = task;
     worker.tail.store(tail + 1, std::memory_order_release);
   }
+  const std::int64_t depth = queued_.fetch_add(1, std::memory_order_relaxed) + 1;
+  metrics.queue_depth.set(static_cast<double>(depth));
   { std::lock_guard lock(worker.park_mutex); }
   worker.park.notify_one();
   dispatched_.fetch_add(1, std::memory_order_relaxed);
+  metrics.dispatched.add(1);
   return true;
 }
 
@@ -176,6 +215,7 @@ void run_submit(SubmitCtx& ctx) {
   ctx.task = nullptr;
   if (ctx.long_tasks != nullptr) {
     ctx.long_tasks->fetch_sub(1, std::memory_order_relaxed);
+    executor_metrics().long_tasks.add(-1.0);
   }
   std::lock_guard lock(ctx.state->mutex);
   ctx.state->done = true;
@@ -212,11 +252,13 @@ Executor::TaskHandle Executor::submit(std::function<void()> task) {
   }
   Worker& worker = *workers_[best];
   worker.long_tasks.fetch_add(1, std::memory_order_relaxed);
+  executor_metrics().long_tasks.add(1.0);
   auto* ctx = new SubmitCtx{std::move(task), state, &worker.long_tasks};
   if (!try_push(worker, {&submit_entry, ctx, 0})) {
     std::unique_ptr<SubmitCtx> owned(ctx);
     owned->long_tasks = nullptr;
     worker.long_tasks.fetch_sub(1, std::memory_order_relaxed);
+    executor_metrics().long_tasks.add(-1.0);
     run_submit(*owned);
   }
   return TaskHandle(std::move(state));

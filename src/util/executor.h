@@ -44,6 +44,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/parallel.h"
 
 namespace eid::util {
@@ -122,6 +123,7 @@ class Executor {
       }
       return;
     }
+    const obs::TraceSpan span("executor_fan_out", "executor");
     FanOut block;
     block.fn = &fn;
     block.chunk = chunk;
@@ -179,6 +181,9 @@ class Executor {
     void (*run)(void*, std::size_t) = nullptr;
     void* ctx = nullptr;
     std::size_t arg = 0;
+    /// trace_now_us() at enqueue when metrics were enabled, else 0 —
+    /// feeds the eid_executor_dispatch_latency_seconds histogram.
+    std::uint64_t enqueue_us = 0;
   };
 
   struct Worker;
@@ -193,6 +198,9 @@ class Executor {
   std::vector<std::thread> threads_;
   std::atomic<std::uint64_t> dispatched_{0};
   std::atomic<std::size_t> next_worker_{0};
+  /// Tasks pushed but not yet picked up, pool-wide — the
+  /// eid_executor_queue_depth gauge.
+  std::atomic<std::int64_t> queued_{0};
 };
 
 /// Dispatch helper for call sites with an optional pool: fan out on

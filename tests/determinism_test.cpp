@@ -114,6 +114,59 @@ TEST(DeterminismTest, DayPipelinedMultiDayRunsAreBitIdentical) {
   }
 }
 
+TEST(DeterminismTest, ObservabilityDoesNotPerturbReports) {
+  // Metrics + tracing are a pure side channel: the multi-day parallelism
+  // sweep must stay bit-identical with both fully on versus fully off,
+  // and the collected trace must be well-formed Chrome trace-event JSON.
+  test::MapWhois whois;
+  whois.add("beacon.ru", 95, 400);
+  std::vector<std::vector<logs::ConnEvent>> days;
+  for (util::Day day = 100; day < 103; ++day) {
+    days.push_back(synthetic_day(day));
+  }
+
+  const auto run = [&](std::size_t threads, std::size_t shards,
+                       std::size_t depth) {
+    core::PipelineConfig config;
+    config.parallelism = core::Parallelism{threads, shards, depth};
+    api::Detector detector(config, whois);
+    auto profile = synthetic_day(99);
+    api::VectorSource bootstrap(99, &profile);
+    detector.ingest(bootstrap);
+    api::MultiDaySource source(100, &days);
+    std::string all;
+    for (const core::DayReport& report : detector.run_days(source)) {
+      all += core::day_report_to_json(report);
+    }
+    return all;
+  };
+
+  std::string baseline_off;
+  std::string baseline_on;
+  for (const std::size_t depth : {1u, 2u}) {
+    for (const std::size_t threads : {1u, 8u}) {
+      obs::metrics().set_enabled(false);
+      const std::string off = run(threads, 4, depth);
+
+      obs::TraceSink sink;
+      api::Detector::set_trace_sink(&sink);
+      obs::metrics().set_enabled(true);
+      const std::string on = run(threads, 4, depth);
+      api::Detector::set_trace_sink(nullptr);
+
+      EXPECT_EQ(on, off) << threads << " threads, depth " << depth;
+      if (baseline_off.empty()) baseline_off = off;
+      if (baseline_on.empty()) baseline_on = on;
+      EXPECT_EQ(off, baseline_off) << threads << " threads, depth " << depth;
+      EXPECT_EQ(on, baseline_on) << threads << " threads, depth " << depth;
+
+      EXPECT_GT(sink.event_count(), 0u) << "stages must record spans";
+      EXPECT_TRUE(test::json_well_formed(sink.to_chrome_json()));
+    }
+  }
+  obs::metrics().set_enabled(true);
+}
+
 TEST(DeterminismTest, SteadyStateSpawnsNoThreads) {
   // The persistent-executor contract: after the pool is built, multi-day
   // operation constructs zero further threads — every fan-out and day

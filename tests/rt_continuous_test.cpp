@@ -336,5 +336,53 @@ TEST(RtContinuousTest, EmptyDayClosesLikeBatch) {
   EXPECT_TRUE(report.emissions.empty());
 }
 
+// Observability is a pure side channel for the continuous engine too:
+// running with metrics enabled and a trace sink installed must close the
+// day with a report byte-identical to the fully dark run, while the sink
+// collects well-formed Chrome trace-event JSON with rt spans in it.
+TEST(RtContinuousTest, TracingOnKeepsDayCloseBitIdentical) {
+  MapWhois whois;
+  std::set<std::string> reported;
+  const auto train = training_days(whois, reported);
+  const core::LabelFn intel = [&reported](const std::string& domain) {
+    return reported.contains(domain);
+  };
+  auto events = campaign_day(kDay, whois);
+
+  const auto run = [&](std::size_t threads, std::size_t shards) {
+    api::Detector detector =
+        trained_detector(whois, intel, train, threads, shards);
+    EngineConfig config;
+    config.window.tick_seconds = 3600;
+    config.seeds = soc_seeds();
+    api::VectorSource source(kDay, &events);
+    const ContinuousReport report = detector.run_continuous(source, config);
+    std::string json;
+    for (const core::DayReport& day : report.days) {
+      json += core::day_report_to_json(day);
+    }
+    return json;
+  };
+
+  for (const std::size_t threads : {1u, 8u}) {
+    SCOPED_TRACE(std::to_string(threads) + " threads");
+    obs::metrics().set_enabled(false);
+    const std::string dark = run(threads, 4);
+
+    obs::TraceSink sink;
+    api::Detector::set_trace_sink(&sink);
+    obs::metrics().set_enabled(true);
+    const std::string traced = run(threads, 4);
+    api::Detector::set_trace_sink(nullptr);
+
+    EXPECT_EQ(traced, dark);
+    EXPECT_GT(sink.event_count(), 0u) << "rt stages must record spans";
+    const std::string trace_json = sink.to_chrome_json();
+    EXPECT_TRUE(test::json_well_formed(trace_json));
+    EXPECT_NE(trace_json.find("rt_tick_evaluate"), std::string::npos);
+  }
+  obs::metrics().set_enabled(true);
+}
+
 }  // namespace
 }  // namespace eid::rt

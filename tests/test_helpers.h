@@ -71,4 +71,51 @@ class DayBuilder {
   std::vector<logs::ConnEvent> events_;
 };
 
+/// Structural JSON validator: balanced brackets outside strings, escape-
+/// aware string scanning, exactly one top-level value. Not a full parser
+/// (no literal/number grammar), but enough to catch the truncation and
+/// quoting bugs a hand-rolled writer can produce.
+inline bool json_well_formed(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  bool seen_value = false;
+  std::vector<char> stack;
+  for (const char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+        if (depth == 0) seen_value = true;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        stack.push_back(c);
+        ++depth;
+        break;
+      case '}':
+      case ']': {
+        if (stack.empty()) return false;
+        const char open = stack.back();
+        stack.pop_back();
+        if ((c == '}') != (open == '{')) return false;
+        if (--depth == 0) seen_value = true;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return depth == 0 && !in_string && seen_value;
+}
+
 }  // namespace eid::test
