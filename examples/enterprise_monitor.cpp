@@ -21,7 +21,9 @@
 // (a growing DNS-flavor TSV log) through the rt::ContinuousEngine,
 // re-scoring a sliding window every --tick seconds and printing
 // provisional incidents live as they cross the detection thresholds —
-// with the authoritative (batch-identical) day report at day close.
+// with the authoritative (batch-identical) day report at day close. Tick
+// evaluations merge cached per-bucket partial graphs (O(new events) per
+// tick); --rt-rebuild falls back to replaying the window's raw events.
 //
 // --metrics-out <path> keeps a Prometheus text-exposition snapshot of the
 // process metrics registry at <path> (atomic tmp + rename; point the
@@ -72,6 +74,9 @@ void print_usage(const char* argv0) {
       "                      the 86400 s day)\n"
       "  --rt-window <sec>   sliding evidence window (default 86400; whole\n"
       "                      number of ticks)\n"
+      "  --rt-rebuild        re-ingest the window's raw events every tick\n"
+      "                      instead of merging cached per-bucket partials\n"
+      "                      (escape hatch; same results, O(window) ticks)\n"
       "  --idle-exit <n>     exit after n consecutive empty polls\n"
       "                      (default 0 = follow forever)\n"
       "  --poll-ms <ms>      sleep between empty polls (default 200)\n"
@@ -155,6 +160,7 @@ int main(int argc, char** argv) {
   int window_seconds = 86400;
   int idle_exit = 0;
   int poll_ms = 200;
+  bool rt_rebuild = false;
 
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
@@ -179,6 +185,10 @@ int main(int argc, char** argv) {
         return 1;
       }
       follow_path = argv[++i];
+      continue;
+    }
+    if (std::strcmp(arg, "--rt-rebuild") == 0) {
+      rt_rebuild = true;
       continue;
     }
     if (std::strcmp(arg, "--metrics-out") == 0) {
@@ -334,6 +344,7 @@ int main(int argc, char** argv) {
     rt::EngineConfig engine_config;
     engine_config.window.tick_seconds = tick_seconds;
     engine_config.window.window_seconds = window_seconds;
+    engine_config.window.incremental = !rt_rebuild;
     engine_config.seeds = seeds;
     if (!engine_config.window.valid()) {
       std::fprintf(stderr,
@@ -370,9 +381,10 @@ int main(int argc, char** argv) {
       std::fflush(stdout);
     });
 
-    std::printf("following %s (day %s, tick %ds, window %ds)...\n",
+    std::printf("following %s (day %s, tick %ds, window %ds, %s ticks)...\n",
                 follow_path.c_str(), util::format_day(day).c_str(),
-                tick_seconds, window_seconds);
+                tick_seconds, window_seconds,
+                rt_rebuild ? "rebuild" : "incremental");
     int idle = 0;
     auto last_flush = std::chrono::steady_clock::now();
     while (idle_exit == 0 || idle < idle_exit) {
@@ -393,13 +405,21 @@ int main(int argc, char** argv) {
     const rt::EngineStats& stats = engine.stats();
     std::printf("\nfollow stats: %zu events in %zu chunks, %zu ticks closed "
                 "(%zu evaluated), %zu day(s) closed, %zu provisional + %zu "
-                "finalized emission(s), peak buffer %zu events "
+                "finalized emission(s), peak buffer %zu raw events "
                 "(cursor at byte %llu)\n",
                 stats.events, stats.chunks, stats.ticks_closed,
                 stats.evaluations, stats.days_closed,
                 stats.provisional_emissions, stats.finalized_emissions,
                 stats.peak_buffered_events,
                 static_cast<unsigned long long>(source.stats().byte_offset));
+    if (!rt_rebuild) {
+      std::printf("window cache: %zu buckets sealed, %zu partial absorbs, "
+                  "%zu merge extends, %zu rebuilds, %zu cached events at "
+                  "exit\n",
+                  stats.buckets_sealed, stats.partial_absorbs,
+                  stats.window_merge_extends, stats.window_merge_rebuilds,
+                  stats.cached_partial_events);
+    }
     if (!state_path.empty()) {
       if (detector.save_state(state_path)) {
         std::printf("[checkpoint] state saved to %s\n", state_path.c_str());

@@ -127,6 +127,12 @@ DayAnalysis Pipeline::analyze_day(const std::vector<logs::ConnEvent>& events,
 }
 
 DayAnalysis Pipeline::finish_day(DayAccumulator&& accumulator) const {
+  return finish_day_graph(accumulator.day_, std::move(accumulator.graph_),
+                          accumulator.events_);
+}
+
+DayAnalysis Pipeline::finish_day_graph(util::Day day, graph::DayGraph&& graph,
+                                       std::size_t events) const {
   using clock = std::chrono::steady_clock;
   const auto seconds_since = [](clock::time_point start) {
     return std::chrono::duration<double>(clock::now() - start).count();
@@ -136,9 +142,9 @@ DayAnalysis Pipeline::finish_day(DayAccumulator&& accumulator) const {
   const obs::TraceSpan day_span("finish_day");
 
   DayAnalysis analysis;
-  analysis.day = accumulator.day_;
-  analysis.event_count = accumulator.events_;
-  analysis.graph = std::move(accumulator.graph_);
+  analysis.day = day;
+  analysis.event_count = events;
+  analysis.graph = std::move(graph);
   auto stage_start = clock::now();
   {
     const obs::TraceSpan span("csr_finalize");

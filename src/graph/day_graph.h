@@ -57,6 +57,21 @@ class DayShard {
  public:
   void add_event(const logs::ConnEvent& event, std::uint64_t seq);
 
+  /// Merge another shard built from a *later* slice of the same stream
+  /// into this one, as if the slice's events had been replayed here one by
+  /// one: `seq_offset` (this builder's event count before the slice) lifts
+  /// the slice-local sequence tags into the concatenated stream's
+  /// positions. Replays interner entries in local-id (= first-appearance)
+  /// order and edges in creation order, so the resulting state — ids,
+  /// edge slots, time/UA/IP order — is exactly what a sequential build of
+  /// the concatenation leaves. With `merge_sorted`, both sides' per-edge
+  /// times are already sorted and are merged in place (stays sorted).
+  void absorb(const DayShard& src, std::uint64_t seq_offset, bool merge_sorted);
+
+  /// Sort every edge's timestamps in place (seal step of a cached
+  /// partial); lets later absorbs merge instead of re-sort.
+  void sort_times();
+
   std::size_t host_count() const { return hosts_.size(); }
   std::size_t domain_count() const { return domains_.size(); }
   std::size_t edge_count() const { return edges_.size(); }
@@ -83,6 +98,7 @@ class DayShard {
   util::ShardInterner domains_;
   util::ShardInterner uas_;
   std::unordered_map<std::uint64_t, std::uint32_t> edge_slot_;  ///< key -> index
+  std::vector<std::uint64_t> edge_keys_;  ///< slot -> key (creation order)
   std::vector<Edge> edges_;
   std::vector<std::vector<IpSeen>> ips_of_domain_;  ///< by local domain id
 };
@@ -117,12 +133,52 @@ class DayGraph {
   /// abort-after-finalize contract.
   void add_events(std::span<const logs::ConnEvent> events);
 
+  /// Merge another un-finalized graph — built with the *same shard count*
+  /// from a later slice of the same event stream — into this one, without
+  /// touching the slice's raw events again. Equivalent, bit for bit after
+  /// finalize, to replaying the slice's events here in order: per-shard
+  /// interner/edge/IP state is replayed with sequence tags offset by this
+  /// graph's event count (only the *order* of first-appearance tags feeds
+  /// the deterministic merge, so offsets are exact). This is the rt
+  /// engine's incremental window merge: sealed per-bucket partials absorb
+  /// in O(bucket state), never O(window events).
+  void absorb(const DayGraph& src);
+
+  /// Pre-sort every edge's timestamps (partial seal). finalize() and
+  /// absorb() then merge/skip instead of re-sorting; add_event after this
+  /// clears the property.
+  void sort_edge_times();
+
+  /// Events ingested so far (absorbed graphs included).
+  std::uint64_t ingested_events() const { return seq_; }
+
   /// Merge the ingest shards, sort edge timestamps and build the CSR
   /// views; n_threads parallelizes the per-edge work (timestamp sorting,
   /// UA remapping) over contiguous edge ranges. Call after the last
   /// add_event (idempotent: repeat calls are no-ops). All queries below
   /// require a finalized graph.
   void finalize(std::size_t n_threads = 1);
+
+  class SnapshotCache;
+
+  /// Non-consuming finalize: build and return the finalized CSR graph this
+  /// graph would become, leaving the ingest shards intact so absorbing and
+  /// snapshotting can continue (the rt engine snapshots its running window
+  /// merge every tick). The returned graph is bit-identical to calling
+  /// finalize() on a copy. An optional SnapshotCache makes repeated
+  /// snapshots of a growing graph incremental — see its contract.
+  DayGraph finalize_snapshot(std::size_t n_threads = 1,
+                             SnapshotCache* cache = nullptr) const;
+
+  /// finalize_snapshot writing into a caller-kept graph instead of a fresh
+  /// one, recycling `out`'s existing allocations (per-edge time/UA vectors,
+  /// offset rows) across repeated snapshots — the rt engine hands each
+  /// tick's consumed snapshot back as the next tick's `out`, turning the
+  /// per-edge copy step from malloc-bound into memcpy-bound. Any previous
+  /// content of `out` is discarded; the result is bit-identical to
+  /// finalize_snapshot(). `out` must not alias this graph.
+  void finalize_snapshot_into(DayGraph& out, std::size_t n_threads = 1,
+                              SnapshotCache* cache = nullptr) const;
 
   bool finalized() const { return finalized_; }
 
@@ -198,10 +254,27 @@ class DayGraph {
                : std::hash<std::string_view>{}(host) % shards_.size();
   }
 
+  /// One edge staged for CSR layout: global (host, domain) key plus its
+  /// (shard, slot) source location.
+  struct StagedEdge {
+    std::uint64_t key = 0;
+    std::uint32_t shard = 0;
+    std::uint32_t slot = 0;
+  };
+
+  /// Shared CSR construction behind finalize()/finalize_snapshot(): reads
+  /// the ingest shards and installs the finalized state into `out` (which
+  /// is *this for the consuming finalize — per-edge payloads are then
+  /// moved rather than copied). `cache` (snapshot path only) skips
+  /// re-staging edges already staged by a previous call.
+  void build_csr(DayGraph& out, std::size_t n_threads, bool consume,
+                 SnapshotCache* cache) const;
+
   // ---- ingest state (consumed by finalize) ----
   std::vector<DayShard> shards_;
   std::shared_ptr<util::Executor> executor_;  ///< nullptr = spawning fallback
   std::uint64_t seq_ = 0;  ///< global arrival counter
+  bool times_sorted_ = true;  ///< every edge's times sorted (trivially, when empty)
   struct Routed {
     const logs::ConnEvent* event = nullptr;
     std::uint64_t seq = 0;
@@ -220,6 +293,34 @@ class DayGraph {
   std::vector<std::uint32_t> ip_offsets_;     ///< domains + 1 row offsets
   std::vector<util::Ipv4> domain_ips_;        ///< flat, first-appearance order
   bool finalized_ = false;
+};
+
+/// Scratch state that makes repeated finalize_snapshot() calls on one
+/// *growing* graph incremental: the globally-keyed, sorted edge staging —
+/// the dominant per-snapshot cost on large windows — is kept across calls,
+/// so each snapshot stages and sorts only the edges added since the last
+/// one and merges them into the cached order in O(total edges) flat copies.
+///
+/// Validity contract: reuse only with the same DayGraph object, and only
+/// while it strictly grows between snapshots (add_event / add_events /
+/// absorb — the rt window merge's extend path). Cached global keys stay
+/// exact under growth because interner ids order by global first
+/// appearance and new events carry strictly later sequence tags, so
+/// already-assigned ids never move. After replacing or rebuilding the
+/// graph, reset() (the rt window does this whenever it rebuilds its
+/// running merge).
+class DayGraph::SnapshotCache {
+ public:
+  void reset() {
+    slots_done_.clear();
+    staged_.clear();
+    staged_.shrink_to_fit();
+  }
+
+ private:
+  friend class DayGraph;
+  std::vector<std::size_t> slots_done_;  ///< per-shard edge slots staged
+  std::vector<StagedEdge> staged_;       ///< all staged edges, key-sorted
 };
 
 }  // namespace eid::graph

@@ -28,6 +28,17 @@ struct RtMetrics {
   obs::Gauge& backlog = obs::metrics().gauge("eid_rt_poll_backlog_events");
   obs::Gauge& window_buckets = obs::metrics().gauge("eid_rt_window_buckets");
   obs::Gauge& last_tick = obs::metrics().gauge("eid_rt_last_tick_seconds");
+  // Incremental window-merge cache health (rt/window.h CacheStats).
+  obs::Counter& buckets_sealed =
+      obs::metrics().counter("eid_rt_buckets_sealed_total");
+  obs::Counter& partial_absorbs =
+      obs::metrics().counter("eid_rt_partial_absorbs_total");
+  obs::Counter& merge_extends =
+      obs::metrics().counter("eid_rt_window_merge_extends_total");
+  obs::Counter& merge_rebuilds =
+      obs::metrics().counter("eid_rt_window_merge_rebuilds_total");
+  obs::Gauge& cached_events =
+      obs::metrics().gauge("eid_rt_cached_partial_events");
   obs::Histogram& tick_seconds = obs::metrics().histogram(
       "eid_rt_tick_seconds", obs::duration_buckets());
   obs::Histogram& emission_latency = obs::metrics().histogram(
@@ -90,6 +101,17 @@ ContinuousEngine::ContinuousEngine(api::Detector& detector, SimClock& clock,
       config_(std::move(config)),
       window_(config_.window) {
   assert(config_.window.valid());
+  if (config_.window.incremental) {
+    // Pin the partial shard count now: partials absorb into each other, so
+    // they must all share one geometry even if set_parallelism retunes the
+    // pipeline mid-run (finalized bytes are shard-count-invariant, so a
+    // pinned count is a pure performance choice, never a drift).
+    core::Pipeline& pipeline = detector_.pipeline();
+    const std::size_t shards =
+        std::max<std::size_t>(pipeline.config().parallelism.shards, 1);
+    window_.set_partial_factory(
+        [&pipeline, shards] { return pipeline.make_ingest_graph(shards); });
+  }
 }
 
 ContinuousEngine::~ContinuousEngine() {
@@ -152,12 +174,15 @@ ContinuousReport ContinuousEngine::run(api::EventSource& source) {
 ContinuousReport ContinuousEngine::take_report() {
   commit_close();
   stats_.buffered_events = window_.buffered_events();
+  stats_.cached_partial_events = window_.cached_events();
   ContinuousReport report;
   report.days = std::move(day_reports_);
   report.emissions = std::move(emissions_);
   report.stats = stats_;
+  report.tick_eval_seconds = std::move(tick_eval_seconds_);
   day_reports_.clear();
   emissions_.clear();
+  tick_eval_seconds_.clear();
   return report;
 }
 
@@ -194,24 +219,39 @@ void ContinuousEngine::evaluate_tick(std::int64_t tick) {
   ++stats_.evaluations;
   metrics.evaluations.add(1);
   const obs::TraceSpan span("rt_tick_evaluate", "rt");
-  // The wall-clock read pair feeds eid_rt_tick_seconds and the
-  // last-tick-latency gauge; only pay for it when collection is on.
-  const bool timed = obs::metrics().enabled();
-  const auto tick_start = timed ? std::chrono::steady_clock::now()
-                                : std::chrono::steady_clock::time_point{};
+  // Always timed: the pair of clock reads is negligible next to the
+  // evaluation and feeds the report's per-tick cost distribution
+  // (tick_eval_seconds); the metrics registry only sees it when enabled.
+  const auto tick_start = std::chrono::steady_clock::now();
 
-  // Re-score the sliding window through the exact batch stages: replay the
-  // live buckets (arrival order) into a DayAccumulator, finalize, then C&C
-  // detection and (optionally) no-hint BP for community expansion.
+  // Re-score the sliding window through the exact batch stages, then C&C
+  // detection and (optionally) no-hint BP for community expansion. The
+  // window's evidence graph comes from one of two bit-identical paths:
+  // incremental — merge the cached per-bucket partials (only newly sealed
+  // buckets absorb when the window front is unchanged) and snapshot-
+  // finalize, O(new events) per tick; rebuild — replay the live buckets'
+  // raw events (arrival order) into a DayAccumulator, O(window).
   core::Pipeline& pipeline = detector_.pipeline();
   const util::TimePoint close = config_.window.tick_end(tick);
   const util::Day day = util::day_of(close - 1);
-  core::DayAccumulator accumulator = pipeline.begin_day(day);
-  window_.for_each_window_chunk(
-      tick, [&accumulator](std::span<const logs::ConnEvent> events) {
-        accumulator.add_chunk(events);
-      });
-  const core::DayAnalysis analysis = pipeline.finish_day(std::move(accumulator));
+  core::DayAnalysis analysis;
+  if (config_.window.incremental) {
+    const WindowAccumulator::MergeView view = window_.merge_window(tick);
+    assert(view.graph != nullptr);  // window_events(tick) > 0 above
+    view.graph->finalize_snapshot_into(snapshot_scratch_,
+                                       pipeline.config().parallelism.threads,
+                                       view.snapshot_cache);
+    analysis = pipeline.finish_day_graph(day, std::move(snapshot_scratch_),
+                                         view.events);
+    sync_cache_stats();
+  } else {
+    core::DayAccumulator accumulator = pipeline.begin_day(day);
+    window_.for_each_window_chunk(
+        tick, [&accumulator](std::span<const logs::ConnEvent> events) {
+          accumulator.add_chunk(events);
+        });
+    analysis = pipeline.finish_day(std::move(accumulator));
+  }
 
   const std::vector<core::ScoredDomain> cc = pipeline.detect_cc(analysis);
   std::vector<std::string> domains;
@@ -224,15 +264,39 @@ void ContinuousEngine::evaluate_tick(std::int64_t tick) {
     hosts = bp.hosts;
   }
   emit(analysis, domains, hosts, /*provisional=*/true, close, day);
+  if (config_.window.incremental) {
+    // Reclaim the snapshot's allocations for the next tick (`analysis` is
+    // done — nothing below reads it).
+    snapshot_scratch_ = std::move(analysis.graph);
+  }
   dirty_ = false;
-  if (timed) {
-    const double seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      tick_start)
-            .count();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    tick_start)
+          .count();
+  tick_eval_seconds_.push_back(seconds);
+  stats_.buffered_events = window_.buffered_events();
+  stats_.cached_partial_events = window_.cached_events();
+  if (obs::metrics().enabled()) {
     metrics.tick_seconds.observe(seconds);
     metrics.last_tick.set(seconds);
+    metrics.backlog.set(static_cast<double>(window_.buffered_events()));
+    metrics.cached_events.set(static_cast<double>(window_.cached_events()));
   }
+}
+
+void ContinuousEngine::sync_cache_stats() {
+  const WindowAccumulator::CacheStats& cache = window_.cache_stats();
+  RtMetrics& metrics = rt_metrics();
+  metrics.buckets_sealed.add(cache.buckets_sealed - stats_.buckets_sealed);
+  metrics.partial_absorbs.add(cache.partial_absorbs - stats_.partial_absorbs);
+  metrics.merge_extends.add(cache.merge_extends - stats_.window_merge_extends);
+  metrics.merge_rebuilds.add(cache.merge_rebuilds -
+                             stats_.window_merge_rebuilds);
+  stats_.buckets_sealed = cache.buckets_sealed;
+  stats_.partial_absorbs = cache.partial_absorbs;
+  stats_.window_merge_extends = cache.merge_extends;
+  stats_.window_merge_rebuilds = cache.merge_rebuilds;
 }
 
 void ContinuousEngine::close_day() {
@@ -242,28 +306,44 @@ void ContinuousEngine::close_day() {
   const util::Day day = *open_day_;
   core::Pipeline& pipeline = detector_.pipeline();
 
-  // Replay the day's buckets in arrival order — the same event sequence
+  // Assemble the day's evidence in arrival order — the same event sequence
   // the batch path would consume, so by the chunking-independence contract
-  // the report and history update are bit-identical to run_day. The replay
-  // stays synchronous (it reads the window buckets, released just below);
-  // the expensive finalize + report compute may run on the worker pool.
-  core::DayAccumulator accumulator = pipeline.begin_day(day);
-  window_.for_each_day_chunk(
-      day, [&accumulator](std::span<const logs::ConnEvent> events) {
-        accumulator.add_chunk(events);
-      });
-
+  // the report and history update are bit-identical to run_day. The
+  // assembly stays synchronous (it reads the window buckets, released just
+  // below; the incremental merge owns absorbed copies, so expiry cannot
+  // pull state out from under the task); the expensive finalize + report
+  // compute may run on the worker pool.
   PendingClose close;
   close.day = day;
   close.analysis = std::make_shared<core::DayAnalysis>();
   close.report = std::make_shared<core::DayReport>();
-  auto task = [&pipeline, seeds = &config_.seeds,
-               acc = std::make_shared<core::DayAccumulator>(
-                   std::move(accumulator)),
-               analysis = close.analysis, report = close.report] {
-    *analysis = pipeline.finish_day(std::move(*acc));
-    *report = pipeline.report_day(*analysis, *seeds);
-  };
+  std::function<void()> task;
+  if (config_.window.incremental) {
+    // Merge the day's sealed partials (sealing the tail bucket no
+    // evaluation covered yet) instead of re-ingesting the day's events.
+    std::size_t day_events = 0;
+    auto merged = std::make_shared<graph::DayGraph>(
+        window_.merge_day(day, day_events));
+    sync_cache_stats();
+    task = [&pipeline, seeds = &config_.seeds, merged, day, day_events,
+            analysis = close.analysis, report = close.report] {
+      *analysis =
+          pipeline.finish_day_graph(day, std::move(*merged), day_events);
+      *report = pipeline.report_day(*analysis, *seeds);
+    };
+  } else {
+    core::DayAccumulator accumulator = pipeline.begin_day(day);
+    window_.for_each_day_chunk(
+        day, [&accumulator](std::span<const logs::ConnEvent> events) {
+          accumulator.add_chunk(events);
+        });
+    task = [&pipeline, seeds = &config_.seeds,
+            acc = std::make_shared<core::DayAccumulator>(std::move(accumulator)),
+            analysis = close.analysis, report = close.report] {
+      *analysis = pipeline.finish_day(std::move(*acc));
+      *report = pipeline.report_day(*analysis, *seeds);
+    };
+  }
   util::Executor* executor = pipeline.executor();
   const bool pipelined = executor != nullptr && pull_overlap_safe_ &&
                          pipeline.config().parallelism.pipeline_depth > 1;
@@ -277,8 +357,9 @@ void ContinuousEngine::close_day() {
   window_.close_day(day);
   open_day_.reset();
   // Histories change when the close commits, so the next tick must
-  // re-score even if no new events arrive before it closes.
-  dirty_ = window_.buffered_events() > 0;
+  // re-score even if no new events arrive before it closes. "Held" means
+  // raw or sealed-partial events — incremental mode releases raw storage.
+  dirty_ = window_.buffered_events() + window_.cached_events() > 0;
   // Sequential configurations commit right here — identical observable
   // order to the pre-pipelined engine. Pipelined ones commit at the next
   // join point, overlapped with the next day's ingestion.

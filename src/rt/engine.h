@@ -12,7 +12,12 @@
 //     crosses a tick boundary, the sliding window (rt/window.h) is
 //     re-scored: rare-destination + automation analysis, C&C detection
 //     and no-hint belief propagation over the window's events, all
-//     through the same core::Pipeline stages the batch path uses;
+//     through the same core::Pipeline stages the batch path uses. In the
+//     default incremental mode the window's evidence comes from cached
+//     per-bucket partial graphs merged in O(new events) per tick
+//     (DayGraph::absorb + finalize_snapshot); WindowConfig::incremental =
+//     false re-ingests the window's raw events instead — both paths are
+//     bit-identical (tests/rt_incremental_test.cpp);
 //   * domains never emitted before are announced immediately as
 //     provisional IncidentEmissions carrying event-time → emission-time
 //     latency (bounded by detection lag + one tick), and merged into the
@@ -81,10 +86,19 @@ struct EngineStats {
   std::size_t evaluations = 0;        ///< tick closes that re-scored the window
   std::size_t days_closed = 0;
   std::size_t expired_events = 0;     ///< dropped by window expiry
-  std::size_t buffered_events = 0;    ///< currently held (window ∪ open day)
+  /// Raw events currently buffered. Incremental mode seals closed buckets
+  /// into partials and releases their raw events, so this (and the peak)
+  /// is the open-bucket backlog, not the whole window ∪ open day.
+  std::size_t buffered_events = 0;
   std::size_t peak_buffered_events = 0;
+  std::size_t cached_partial_events = 0;  ///< events inside sealed partials
   std::size_t provisional_emissions = 0;
   std::size_t finalized_emissions = 0;
+  // Incremental window-merge cache (zero in rebuild mode).
+  std::size_t buckets_sealed = 0;
+  std::size_t partial_absorbs = 0;
+  std::size_t window_merge_extends = 0;
+  std::size_t window_merge_rebuilds = 0;
 };
 
 /// Everything a finished continuous run produced.
@@ -92,6 +106,10 @@ struct ContinuousReport {
   std::vector<core::DayReport> days;      ///< one per closed day, in order
   std::vector<IncidentEmission> emissions;
   EngineStats stats{};
+  /// Wall seconds of every window evaluation, in tick order — the per-tick
+  /// cost distribution (bench_latency_rt's tick_p50/p99). Always recorded
+  /// (two clock reads per evaluation); pure side channel.
+  std::vector<double> tick_eval_seconds;
 };
 
 /// Latency distribution over a set of emissions (nearest-rank quantiles).
@@ -174,6 +192,7 @@ class ContinuousEngine {
   void roll_to(std::int64_t tick);
   void evaluate_tick(std::int64_t tick);
   void close_day();
+  void sync_cache_stats();
   void emit(const core::DayAnalysis& analysis,
             const std::vector<std::string>& domains,
             const std::vector<std::string>& hosts, bool provisional,
@@ -186,6 +205,12 @@ class ContinuousEngine {
   core::IncidentStore incidents_;
   std::set<std::string> emitted_domains_;
 
+  /// Recycled snapshot container (incremental mode): each tick's finalized
+  /// window snapshot is reclaimed from the consumed DayAnalysis after
+  /// emission, so the next snapshot reuses its per-edge allocations
+  /// (DayGraph::finalize_snapshot_into) instead of re-mallocing the window.
+  graph::DayGraph snapshot_scratch_;
+
   bool have_tick_ = false;
   std::int64_t current_tick_ = 0;
   bool dirty_ = false;  ///< events appended since the last evaluation
@@ -197,6 +222,7 @@ class ContinuousEngine {
 
   std::vector<core::DayReport> day_reports_;
   std::vector<IncidentEmission> emissions_;
+  std::vector<double> tick_eval_seconds_;
   EngineStats stats_{};
   std::function<void(const IncidentEmission&)> emission_sink_;
   std::function<void(const core::DayReport&)> day_sink_;

@@ -200,6 +200,113 @@ TEST(DayGraphTest, ShardedBuildMatchesSequential) {
   }
 }
 
+/// Compare two finalized graphs field by field through the public API.
+void expect_identical(const DayGraph& a, const DayGraph& b) {
+  ASSERT_EQ(a.host_count(), b.host_count());
+  ASSERT_EQ(a.domain_count(), b.domain_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (HostId h = 0; h < a.host_count(); ++h) {
+    EXPECT_EQ(a.host_name(h), b.host_name(h));
+  }
+  for (DomainId d = 0; d < a.domain_count(); ++d) {
+    EXPECT_EQ(a.domain_name(d), b.domain_name(d));
+    const auto ips_a = a.domain_ips(d);
+    const auto ips_b = b.domain_ips(d);
+    ASSERT_EQ(std::vector<util::Ipv4>(ips_a.begin(), ips_a.end()),
+              std::vector<util::Ipv4>(ips_b.begin(), ips_b.end()));
+  }
+  a.for_each_edge([&](HostId h, DomainId d, const EdgeData& ea) {
+    const EdgeData* eb = b.edge(h, d);
+    ASSERT_NE(eb, nullptr);
+    EXPECT_EQ(ea.times, eb->times);
+    EXPECT_EQ(ea.user_agents, eb->user_agents);
+    for (const UaId ua : ea.user_agents) {
+      EXPECT_EQ(a.ua_name(ua), b.ua_name(ua));
+    }
+    EXPECT_EQ(ea.any_referer, eb->any_referer);
+    EXPECT_EQ(ea.any_empty_ua, eb->any_empty_ua);
+  });
+}
+
+std::vector<logs::ConnEvent> slice_events(int begin, int end) {
+  std::vector<logs::ConnEvent> events;
+  for (int i = begin; i < end; ++i) {
+    auto ev = event(2000 - i, "host" + std::to_string(i % 7),
+                    "dom" + std::to_string(i % 5) + ".com",
+                    i % 3 == 0 ? "UA-" + std::to_string(i % 4) : "",
+                    i % 2 == 0);
+    ev.dest_ip = util::Ipv4::from_octets(10, 0, static_cast<uint8_t>(i % 3),
+                                         static_cast<uint8_t>(i % 2));
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+// absorb() must be indistinguishable, after finalize, from replaying the
+// absorbed slice's events in order — for one and several shards, sorted
+// (sealed) and unsorted partials alike.
+TEST(DayGraphTest, AbsorbMatchesSequentialReplay) {
+  for (const std::size_t shards : {1u, 4u}) {
+    for (const bool seal : {false, true}) {
+      SCOPED_TRACE(std::to_string(shards) + " shards, seal " +
+                   std::to_string(seal));
+      DayGraph sequential(1);
+      for (const auto& ev : slice_events(0, 60)) sequential.add_event(ev);
+      sequential.finalize();
+
+      // Three slices built independently, then chained with absorb.
+      DayGraph merged(shards);
+      for (const int begin : {0, 25, 40}) {
+        const int end = begin == 0 ? 25 : begin == 25 ? 40 : 60;
+        DayGraph slice(shards);
+        for (const auto& ev : slice_events(begin, end)) slice.add_event(ev);
+        if (seal) slice.sort_edge_times();
+        merged.absorb(slice);
+      }
+      EXPECT_EQ(merged.ingested_events(), 60u);
+      merged.finalize();
+      expect_identical(merged, sequential);
+    }
+  }
+}
+
+// finalize_snapshot() must equal finalize() of the same state, leave the
+// source graph usable for further growth, and — with a SnapshotCache
+// carried across snapshots of the growing graph — stay bit-identical at
+// every step. The recycled finalize_snapshot_into() variant must too.
+TEST(DayGraphTest, SnapshotMatchesFinalizeAcrossGrowth) {
+  DayGraph growing(3);
+  DayGraph::SnapshotCache cache;
+  DayGraph recycled;  // reused output container across snapshots
+  for (const int end : {20, 35, 60}) {
+    SCOPED_TRACE("events " + std::to_string(end));
+    const int begin = end == 20 ? 0 : end == 35 ? 20 : 35;
+    DayGraph slice(3);
+    for (const auto& ev : slice_events(begin, end)) slice.add_event(ev);
+    slice.sort_edge_times();
+    growing.absorb(slice);
+
+    // Reference: consuming finalize of an identically-built graph.
+    DayGraph reference(3);
+    for (const auto& ev : slice_events(0, end)) reference.add_event(ev);
+    reference.finalize(2);
+
+    const DayGraph plain = growing.finalize_snapshot(2);
+    const DayGraph cached = growing.finalize_snapshot(2, &cache);
+    growing.finalize_snapshot_into(recycled, 2, nullptr);
+    EXPECT_FALSE(growing.finalized());
+    expect_identical(plain, reference);
+    expect_identical(cached, reference);
+    expect_identical(recycled, reference);
+  }
+  // The source still finalizes normally after all the snapshots.
+  growing.finalize();
+  DayGraph reference(1);
+  for (const auto& ev : slice_events(0, 60)) reference.add_event(ev);
+  reference.finalize();
+  expect_identical(growing, reference);
+}
+
 TEST(DayGraphTest, LargeGraphConsistency) {
   DayGraph graph;
   for (int h = 0; h < 100; ++h) {
