@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <functional>
 #include <optional>
 #include <string>
@@ -25,7 +26,9 @@
 
 #include "bench_common.h"
 #include "profile/persistence.h"
+#include "storage/delta.h"
 #include "storage/state.h"
+#include "util/crc32.h"
 #include "util/rng.h"
 
 namespace {
@@ -237,6 +240,80 @@ int main(int argc, char** argv) {
   }
   const std::size_t state_bytes = file_bytes(state_bin);
 
+  // Delta checkpoint (storage/delta.h): one day's growth — new domains,
+  // touched UA entries, the always-small absolute sections — appended as
+  // a frame, versus rewriting the month-scale state above. This is the
+  // daily-save cost a chain deployment actually pays between compactions.
+  const auto chain_path = storage::delta_chain_path(state_bin);
+  std::vector<std::string> day_domains;
+  for (std::size_t d = 0; d < 300; ++d) {
+    day_domains.push_back("fresh-" + std::to_string(d) + ".example.net");
+  }
+  std::vector<std::string> day_uas;
+  std::vector<std::string> day_hosts;
+  for (std::size_t u = 0; u < 800; ++u) {
+    day_uas.push_back("CorpApp-Delta-" + std::to_string(u) + "/1.0");
+  }
+  for (std::size_t h = 0; h < 400; ++h) {
+    day_hosts.push_back("workstation-" + std::to_string(h) +
+                        ".nyc.ad.corp.example.com");
+  }
+  util::Rng delta_rng(7);
+  storage::DeltaInputs day;
+  {
+    std::string base_file_bytes;
+    {
+      std::ifstream in(state_bin, std::ios::binary);
+      base_file_bytes.assign(std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>());
+    }
+    abort_on(base_file_bytes.empty(), "base checkpoint read");
+    day.base_crc = util::crc32(base_file_bytes);
+  }
+  day.day = 400;
+  day.days_ingested = 30;
+  day.new_domains = &day_domains;
+  day.ua_entries.reserve(day_uas.size());
+  for (const std::string& ua : day_uas) {
+    storage::DeltaUaEntryView entry;
+    entry.ua = ua;
+    const std::size_t n = 6 + delta_rng.uniform(4);
+    for (std::size_t i = 0; i < n; ++i) {
+      entry.hosts.push_back(day_hosts[delta_rng.uniform(day_hosts.size())]);
+    }
+    day.ua_entries.push_back(std::move(entry));
+  }
+  const core::PipelineConfig delta_config;
+  const core::ScoredModel delta_model;
+  day.config = &delta_config;
+  day.cc_model = &delta_model;
+  day.sim_model = &delta_model;
+  day.training.models_ready = true;
+  day.counters.days_operated = 30;
+  day.has_cursor = true;
+  day.cursor_day = 400;
+  day.cursor_offset = 1 << 20;
+
+  double delta_save_seconds = 1e300;
+  std::size_t delta_frame_bytes = 0;
+  for (int r = 0; r < 5; ++r) {
+    std::filesystem::remove(chain_path);
+    day.seq = 1;
+    const double s = seconds_of(
+        [&] {
+          const std::string payload = storage::encode_delta_frame(day);
+          delta_frame_bytes = payload.size();
+          abort_on(!storage::append_delta_frame(chain_path, payload),
+                   "delta append");
+          ++day.seq;
+        },
+        1);
+    if (s < delta_save_seconds) delta_save_seconds = s;
+  }
+  std::filesystem::remove(chain_path);
+  const double delta_vs_full_speedup =
+      delta_save_seconds > 0 ? state_save_seconds / delta_save_seconds : 0.0;
+
   const double size_ratio =
       binary.bytes > 0 ? static_cast<double>(text.bytes) /
                              static_cast<double>(binary.bytes)
@@ -256,6 +333,9 @@ int main(int argc, char** argv) {
               size_ratio, load_speedup, save_speedup);
   std::printf("full detector state: %zu bytes, save %.3fs, load %.3fs\n",
               state_bytes, state_save_seconds, state_load_seconds);
+  std::printf("delta frame (one day): %zu bytes, save %.5fs — %.1fx faster "
+              "than the full rewrite\n",
+              delta_frame_bytes, delta_save_seconds, delta_vs_full_speedup);
 
   // Regression floor for the binary save path. Before the hashed table
   // index, the id sorts and the writer reserves, binary save ran at a
@@ -274,6 +354,20 @@ int main(int argc, char** argv) {
   }
   std::printf("binary save speedup %.2fx >= %.2fx floor: ok\n", save_speedup,
               kMinSaveSpeedup);
+
+  // The whole point of the delta chain is that daily saves stop paying
+  // for the month: a day frame must beat the full rewrite by a wide
+  // margin, not scrape past it.
+  constexpr double kMinDeltaSpeedup = 3.0;
+  if (delta_vs_full_speedup < kMinDeltaSpeedup) {
+    std::fprintf(stderr,
+                 "bench_state_io: delta save only %.2fx faster than the "
+                 "full rewrite (floor %.1fx)\n",
+                 delta_vs_full_speedup, kMinDeltaSpeedup);
+    return 1;
+  }
+  std::printf("delta save speedup %.2fx >= %.1fx floor: ok\n",
+              delta_vs_full_speedup, kMinDeltaSpeedup);
 
   std::filesystem::remove_all(dir);
 
@@ -294,6 +388,10 @@ int main(int argc, char** argv) {
          << "    \"detector_state\": {\"bytes\": " << state_bytes
          << ", \"save_seconds\": " << state_save_seconds
          << ", \"load_seconds\": " << state_load_seconds << "},\n"
+         << "    \"delta_frame_bytes\": " << delta_frame_bytes << ",\n"
+         << "    \"delta_save_seconds\": " << delta_save_seconds << ",\n"
+         << "    \"delta_vs_full_speedup\": " << delta_vs_full_speedup
+         << ",\n"
          << "    \"size_ratio\": " << size_ratio
          << ",\n    \"load_speedup\": " << load_speedup
          << ",\n    \"save_speedup\": " << save_speedup << "\n  }";

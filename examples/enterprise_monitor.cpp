@@ -10,11 +10,23 @@
 // threads, ingest shards, multi-day pipeline depth); reports are
 // bit-identical for any values, so they are safe to size to the host.
 //
-// --state <path> makes the monitor durable: the full detector state
+// --state <path> makes the monitor durable: the detector state
 // (histories, trained models, counters) is checkpointed to <path> after
 // every completed day via the storage subsystem, and an existing
 // checkpoint is restored on startup (skipping retraining when the saved
 // models are ready) — kill the process mid-month and restart it to resume.
+// Daily saves append O(day) delta frames to <path>.delta and compact into
+// a fresh full checkpoint every --delta-every saves (see
+// src/storage/FORMAT.md); restart replays base + chain bit-identically.
+//
+// --standby turns the process into a hot standby (requires --state and
+// --follow): instead of ingesting the log it tails the primary's delta
+// chain, applying frames as they land, and takes over the live --follow
+// tail when the primary's heartbeat file (<state>.hb, touched by the
+// primary every poll) goes stale for --stale-after seconds. Takeover
+// re-reads the tailed day's log from the start — histories only advance
+// at day close, so the rebuilt day report is bit-identical to the one the
+// uninterrupted primary would have produced.
 //
 // --follow <path> switches to real-time continuous mode after training:
 // instead of walking simulated operation days, the monitor tails <path>
@@ -46,6 +58,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rt/engine.h"
+#include "rt/standby.h"
+#include "storage/delta.h"
 #include "storage/state.h"
 
 namespace {
@@ -65,6 +79,16 @@ void print_usage(const char* argv0) {
       "           the next day's ingest (default 1, >= 1)\n"
       "  --state <path>  checkpoint the detector to <path> after each day\n"
       "                  and restore from it on startup when present\n"
+      "  --delta-every <n>  compact the delta chain into a fresh full\n"
+      "                     checkpoint every n saves; 1 = always save full\n"
+      "                     (default 7)\n"
+      "\n"
+      "failover (see also src/storage/FORMAT.md):\n"
+      "  --standby           run as a hot standby: tail the primary's delta\n"
+      "                      chain (--state) and take over the --follow tail\n"
+      "                      when its heartbeat goes stale\n"
+      "  --stale-after <sec> heartbeat age that triggers takeover\n"
+      "                      (default 10)\n"
       "\n"
       "real-time continuous mode (replaces the simulated day walk):\n"
       "  --follow <path>     tail a growing DNS-flavor TSV log live\n"
@@ -142,6 +166,150 @@ bool parse_double_arg(const char* text, double& out) {
   return end == text + std::strlen(text) && end != text;
 }
 
+/// Everything the live-tail loop needs, shared between a primary started
+/// with --follow and a standby that just took over.
+struct FollowSetup {
+  std::string follow_path;
+  std::string state_path;  ///< empty = not durable
+  util::Day day = 0;
+  int tick_seconds = 300;
+  int window_seconds = 86400;
+  int idle_exit = 0;
+  int poll_ms = 200;
+  bool rt_rebuild = false;
+  std::size_t delta_every = 7;
+  /// Takeover: the failed primary's incident store to adopt (may be null).
+  core::IncidentStore* adopt_incidents = nullptr;
+};
+
+/// The real-time continuous loop: tail the growing TSV through the
+/// sliding-window engine, heartbeating and delta-checkpointing when
+/// durable. Sim time is driven by the event stream (ReplayClock), so a
+/// replayed file runs at hardware speed and a live tail ticks as its
+/// collector writes.
+int run_follow(api::Detector& detector, const core::SocSeeds& seeds,
+               const FollowSetup& setup,
+               const std::function<void()>& flush_observability) {
+  rt::EngineConfig engine_config;
+  engine_config.window.tick_seconds = setup.tick_seconds;
+  engine_config.window.window_seconds = setup.window_seconds;
+  engine_config.window.incremental = !setup.rt_rebuild;
+  engine_config.seeds = seeds;
+  if (!engine_config.window.valid()) {
+    std::fprintf(stderr,
+                 "error: tick=%ds window=%ds invalid (tick must tile the "
+                 "86400 s day; window a whole number of ticks)\n",
+                 setup.tick_seconds, setup.window_seconds);
+    return 1;
+  }
+
+  api::TsvFileSource source(setup.follow_path, setup.day,
+                            logs::DnsReductionConfig{});
+  source.set_tail(true);
+  rt::ReplayClock clock;
+  rt::ContinuousEngine engine(detector, clock, engine_config);
+  if (setup.adopt_incidents != nullptr) {
+    engine.restore_incidents(std::move(*setup.adopt_incidents));
+  }
+  bool checkpoint_dirty = false;
+  engine.set_emission_sink([&checkpoint_dirty](
+                               const rt::IncidentEmission& emission) {
+    checkpoint_dirty = true;
+    std::printf("[%s] %s incident #%d (%s): latency %llds  domains=[%s]"
+                "  hosts=[%s]\n",
+                format_time(emission.emission_time).c_str(),
+                emission.provisional ? "PROVISIONAL" : "FINAL",
+                emission.incident_id,
+                emission.new_incident ? "new" : "grew",
+                static_cast<long long>(emission.latency_seconds),
+                join(emission.domains).c_str(), join(emission.hosts).c_str());
+    std::fflush(stdout);
+  });
+  engine.set_day_sink([&checkpoint_dirty](const core::DayReport& report) {
+    checkpoint_dirty = true;
+    std::printf("[%s] day closed: events=%zu cc=%zu nohint=%zu "
+                "sochints=%zu (authoritative report, bit-identical to "
+                "batch run_day)\n",
+                util::format_day(report.day).c_str(), report.events,
+                report.cc_domains.size(), report.nohint.domains.size(),
+                report.sochints.domains.size());
+    std::fflush(stdout);
+  });
+
+  const api::CheckpointPolicy policy{setup.delta_every};
+  const auto save_checkpoint = [&]() -> bool {
+    api::CheckpointExtras extras;
+    extras.has_cursor = true;
+    extras.cursor_day = setup.day;
+    extras.cursor_offset = source.stats().byte_offset;
+    extras.incidents = &engine.incidents();
+    storage::LoadStatus status;
+    if (!detector.save_state_delta(setup.state_path, policy, &status,
+                                   extras)) {
+      std::fprintf(stderr, "warning: checkpoint failed: %s — %s\n",
+                   storage::load_error_name(status.error),
+                   status.detail.c_str());
+      return false;
+    }
+    checkpoint_dirty = false;
+    return true;
+  };
+
+  std::printf("following %s (day %s, tick %ds, window %ds, %s ticks)...\n",
+              setup.follow_path.c_str(), util::format_day(setup.day).c_str(),
+              setup.tick_seconds, setup.window_seconds,
+              setup.rt_rebuild ? "rebuild" : "incremental");
+  int idle = 0;
+  auto last_flush = std::chrono::steady_clock::now();
+  while (setup.idle_exit == 0 || idle < setup.idle_exit) {
+    if (engine.poll(source) == 0) {
+      ++idle;
+      std::this_thread::sleep_for(std::chrono::milliseconds(setup.poll_ms));
+    } else {
+      idle = 0;
+    }
+    if (!setup.state_path.empty()) {
+      rt::touch_heartbeat(rt::heartbeat_path(setup.state_path));
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_flush >= std::chrono::seconds(2)) {
+      flush_observability();
+      if (!setup.state_path.empty() && checkpoint_dirty) save_checkpoint();
+      last_flush = now;
+    }
+  }
+  engine.finish();
+  flush_observability();
+  const rt::EngineStats& stats = engine.stats();
+  std::printf("\nfollow stats: %zu events in %zu chunks, %zu ticks closed "
+              "(%zu evaluated), %zu day(s) closed, %zu provisional + %zu "
+              "finalized emission(s), peak buffer %zu raw events "
+              "(cursor at byte %llu, %zu rotation(s), %zu transient "
+              "error(s))\n",
+              stats.events, stats.chunks, stats.ticks_closed,
+              stats.evaluations, stats.days_closed,
+              stats.provisional_emissions, stats.finalized_emissions,
+              stats.peak_buffered_events,
+              static_cast<unsigned long long>(source.stats().byte_offset),
+              source.stats().rotations, source.stats().transient_errors);
+  if (!setup.rt_rebuild) {
+    std::printf("window cache: %zu buckets sealed, %zu partial absorbs, "
+                "%zu merge extends, %zu rebuilds, %zu cached events at "
+                "exit\n",
+                stats.buckets_sealed, stats.partial_absorbs,
+                stats.window_merge_extends, stats.window_merge_rebuilds,
+                stats.cached_partial_events);
+  }
+  if (!setup.state_path.empty()) {
+    if (save_checkpoint()) {
+      std::printf("[checkpoint] state saved to %s\n",
+                  setup.state_path.c_str());
+    }
+  }
+  flush_observability();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -161,6 +329,9 @@ int main(int argc, char** argv) {
   int idle_exit = 0;
   int poll_ms = 200;
   bool rt_rebuild = false;
+  bool standby = false;
+  int delta_every = 7;
+  int stale_after = 10;
 
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
@@ -189,6 +360,10 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(arg, "--rt-rebuild") == 0) {
       rt_rebuild = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--standby") == 0) {
+      standby = true;
       continue;
     }
     if (std::strcmp(arg, "--metrics-out") == 0) {
@@ -224,7 +399,9 @@ int main(int argc, char** argv) {
         (matched = int_flag("--tick", 1, tick_seconds)) != 0 ||
         (matched = int_flag("--rt-window", 1, window_seconds)) != 0 ||
         (matched = int_flag("--idle-exit", 1, idle_exit)) != 0 ||
-        (matched = int_flag("--poll-ms", 1, poll_ms)) != 0) {
+        (matched = int_flag("--poll-ms", 1, poll_ms)) != 0 ||
+        (matched = int_flag("--delta-every", 1, delta_every)) != 0 ||
+        (matched = int_flag("--stale-after", 1, stale_after)) != 0) {
       if (matched < 0) return 1;
       continue;
     }
@@ -283,6 +460,86 @@ int main(int argc, char** argv) {
       "depth %d\n",
       threads, shards, depth);
 
+  if (standby) {
+    if (state_path.empty() || follow_path.empty()) {
+      std::fprintf(stderr, "error: --standby requires --state and --follow\n");
+      return 1;
+    }
+    core::SocSeeds seeds;
+    seeds.domains = scenario.ioc_seeds();
+    rt::StandbyConfig standby_config;
+    standby_config.state_path = state_path;
+    standby_config.stale_after_seconds = stale_after;
+    rt::StandbyReplica replica(detector, standby_config);
+    std::printf("standby: tailing checkpoint chain %s.delta (takeover after "
+                "%ds of heartbeat silence)\n",
+                state_path.c_str(), stale_after);
+    storage::LoadStatus status;
+    if (replica.start(&status)) {
+      std::printf("[standby] base + chain loaded: at seq %llu, %zu operation "
+                  "day(s) completed\n",
+                  static_cast<unsigned long long>(replica.last_seq()),
+                  detector.days_operated());
+    } else {
+      std::printf("[standby] no checkpoint yet (%s) — waiting for the "
+                  "primary's first save\n",
+                  storage::load_error_name(status.error));
+    }
+    std::fflush(stdout);
+    int idle = 0;
+    while (true) {
+      const std::size_t applied = replica.poll();
+      if (applied > 0) {
+        idle = 0;
+        std::printf("[standby] applied %zu frame(s), now at seq %llu\n",
+                    applied,
+                    static_cast<unsigned long long>(replica.last_seq()));
+        std::fflush(stdout);
+      }
+      const double age =
+          rt::heartbeat_age_seconds(rt::heartbeat_path(state_path));
+      if (replica.started() && detector.pipeline().models_ready() &&
+          age > stale_after) {
+        std::printf("[failover] primary heartbeat stale (%.1fs > %ds) — "
+                    "taking over the tail of %s\n",
+                    age, stale_after, follow_path.c_str());
+        std::fflush(stdout);
+        core::IncidentStore incidents;
+        const bool adopted = replica.take_incidents(incidents);
+        FollowSetup setup;
+        setup.follow_path = follow_path;
+        setup.state_path = state_path;
+        // Takeover re-reads the cursor day's log from offset 0: histories
+        // only advance at day close, so replaying the whole day on top of
+        // the replicated state reproduces the primary's would-have-been
+        // report bit-identically (the cursor byte offset in the frames is
+        // operator-visible progress, not a resume point).
+        setup.day = replica.has_cursor()
+                        ? static_cast<util::Day>(replica.cursor_day())
+                        : (follow_day > 0
+                               ? static_cast<util::Day>(follow_day)
+                               : scenario.operation_begin());
+        setup.tick_seconds = tick_seconds;
+        setup.window_seconds = window_seconds;
+        setup.idle_exit = idle_exit;
+        setup.poll_ms = poll_ms;
+        setup.rt_rebuild = rt_rebuild;
+        setup.delta_every = static_cast<std::size_t>(delta_every);
+        setup.adopt_incidents = adopted ? &incidents : nullptr;
+        return run_follow(detector, seeds, setup, flush_observability);
+      }
+      if (applied == 0) {
+        ++idle;
+        if (idle_exit > 0 && idle >= idle_exit) {
+          std::printf("[standby] idle limit reached without takeover — "
+                      "exiting\n");
+          return 0;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+      }
+    }
+  }
+
   bool restored = false;
   if (!state_path.empty()) {
     // Peek at the checkpoint before applying it: a snapshot taken before
@@ -290,15 +547,25 @@ int main(int argc, char** argv) {
     // histories and then retraining would double-ingest January), so such
     // a file is ignored rather than half-used.
     storage::LoadStatus status;
-    auto state = storage::load_detector_state(state_path, &status);
+    storage::ChainLoadReport chain;
+    auto state = storage::load_detector_state_chain(state_path, &chain,
+                                                    &status);
     if (state && state->training.models_ready) {
       detector.restore_state(std::move(*state));
       const core::Pipeline& pipeline = detector.pipeline();
-      std::printf("restored checkpoint %s: %zu known domain(s), %zu UA(s), "
-                  "%zu operation day(s) completed, models trained\n",
-                  state_path.c_str(), pipeline.domain_history().size(),
+      std::printf("restored checkpoint %s (+%zu delta frame(s)): %zu known "
+                  "domain(s), %zu UA(s), %zu operation day(s) completed, "
+                  "models trained\n",
+                  state_path.c_str(), chain.frames_applied,
+                  pipeline.domain_history().size(),
                   pipeline.ua_history().distinct_uas(),
                   detector.days_operated());
+      if (chain.degraded) {
+        std::fprintf(stderr,
+                     "warning: delta chain degraded (%zu frame(s) dropped): "
+                     "%s — resuming from the last good state\n",
+                     chain.frames_dropped, chain.detail.c_str());
+      }
       restored = true;
       // The checkpoint restores the config it was saved with; the operator
       // asked for these thresholds and parallelism on THIS invocation, so
@@ -337,96 +604,18 @@ int main(int argc, char** argv) {
   std::printf("SOC IOC list: %zu domains\n", seeds.domains.size());
 
   if (!follow_path.empty()) {
-    // Real-time continuous mode: tail the growing TSV through the
-    // sliding-window engine. Sim time is driven by the event stream
-    // (ReplayClock), so a replayed file runs at hardware speed and a live
-    // tail ticks as its collector writes.
-    rt::EngineConfig engine_config;
-    engine_config.window.tick_seconds = tick_seconds;
-    engine_config.window.window_seconds = window_seconds;
-    engine_config.window.incremental = !rt_rebuild;
-    engine_config.seeds = seeds;
-    if (!engine_config.window.valid()) {
-      std::fprintf(stderr,
-                   "error: tick=%ds window=%ds invalid (tick must tile the "
-                   "86400 s day; window a whole number of ticks)\n",
-                   tick_seconds, window_seconds);
-      return 1;
-    }
-    const util::Day day =
-        follow_day > 0 ? follow_day : scenario.operation_begin();
-
-    api::TsvFileSource source(follow_path, day, logs::DnsReductionConfig{});
-    source.set_tail(true);
-    rt::ReplayClock clock;
-    rt::ContinuousEngine engine(detector, clock, engine_config);
-    engine.set_emission_sink([](const rt::IncidentEmission& emission) {
-      std::printf("[%s] %s incident #%d (%s): latency %llds  domains=[%s]"
-                  "  hosts=[%s]\n",
-                  format_time(emission.emission_time).c_str(),
-                  emission.provisional ? "PROVISIONAL" : "FINAL",
-                  emission.incident_id,
-                  emission.new_incident ? "new" : "grew",
-                  static_cast<long long>(emission.latency_seconds),
-                  join(emission.domains).c_str(), join(emission.hosts).c_str());
-      std::fflush(stdout);
-    });
-    engine.set_day_sink([](const core::DayReport& report) {
-      std::printf("[%s] day closed: events=%zu cc=%zu nohint=%zu "
-                  "sochints=%zu (authoritative report, bit-identical to "
-                  "batch run_day)\n",
-                  util::format_day(report.day).c_str(), report.events,
-                  report.cc_domains.size(), report.nohint.domains.size(),
-                  report.sochints.domains.size());
-      std::fflush(stdout);
-    });
-
-    std::printf("following %s (day %s, tick %ds, window %ds, %s ticks)...\n",
-                follow_path.c_str(), util::format_day(day).c_str(),
-                tick_seconds, window_seconds,
-                rt_rebuild ? "rebuild" : "incremental");
-    int idle = 0;
-    auto last_flush = std::chrono::steady_clock::now();
-    while (idle_exit == 0 || idle < idle_exit) {
-      if (engine.poll(source) == 0) {
-        ++idle;
-        std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
-      } else {
-        idle = 0;
-      }
-      const auto now = std::chrono::steady_clock::now();
-      if (now - last_flush >= std::chrono::seconds(2)) {
-        flush_observability();
-        last_flush = now;
-      }
-    }
-    engine.finish();
-    flush_observability();
-    const rt::EngineStats& stats = engine.stats();
-    std::printf("\nfollow stats: %zu events in %zu chunks, %zu ticks closed "
-                "(%zu evaluated), %zu day(s) closed, %zu provisional + %zu "
-                "finalized emission(s), peak buffer %zu raw events "
-                "(cursor at byte %llu)\n",
-                stats.events, stats.chunks, stats.ticks_closed,
-                stats.evaluations, stats.days_closed,
-                stats.provisional_emissions, stats.finalized_emissions,
-                stats.peak_buffered_events,
-                static_cast<unsigned long long>(source.stats().byte_offset));
-    if (!rt_rebuild) {
-      std::printf("window cache: %zu buckets sealed, %zu partial absorbs, "
-                  "%zu merge extends, %zu rebuilds, %zu cached events at "
-                  "exit\n",
-                  stats.buckets_sealed, stats.partial_absorbs,
-                  stats.window_merge_extends, stats.window_merge_rebuilds,
-                  stats.cached_partial_events);
-    }
-    if (!state_path.empty()) {
-      if (detector.save_state(state_path)) {
-        std::printf("[checkpoint] state saved to %s\n", state_path.c_str());
-      }
-    }
-    flush_observability();
-    return 0;
+    FollowSetup setup;
+    setup.follow_path = follow_path;
+    setup.state_path = state_path;
+    setup.day = follow_day > 0 ? static_cast<util::Day>(follow_day)
+                               : scenario.operation_begin();
+    setup.tick_seconds = tick_seconds;
+    setup.window_seconds = window_seconds;
+    setup.idle_exit = idle_exit;
+    setup.poll_ms = poll_ms;
+    setup.rt_rebuild = rt_rebuild;
+    setup.delta_every = static_cast<std::size_t>(delta_every);
+    return run_follow(detector, seeds, setup, flush_observability);
   }
 
   // Resume where the checkpoint stopped: days the restored detector already
@@ -488,13 +677,18 @@ int main(int argc, char** argv) {
 
     if (!state_path.empty()) {
       storage::LoadStatus status;
-      if (detector.save_state(state_path, &status)) {
-        std::printf("[checkpoint] state saved to %s\n", state_path.c_str());
+      const api::CheckpointPolicy policy{
+          static_cast<std::size_t>(delta_every)};
+      if (detector.save_state_delta(state_path, policy, &status)) {
+        std::printf("[checkpoint] state saved to %s (delta chain, full "
+                    "rewrite every %d)\n",
+                    state_path.c_str(), delta_every);
       } else {
         std::fprintf(stderr, "warning: checkpoint failed: %s — %s\n",
                      storage::load_error_name(status.error),
                      status.detail.c_str());
       }
+      rt::touch_heartbeat(rt::heartbeat_path(state_path));
     }
     flush_observability();
   }

@@ -3,9 +3,18 @@
 #include <algorithm>
 #include <memory>
 #include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <system_error>
 #include <utility>
+#include <vector>
 
+#include "features/cc_features.h"
+#include "features/similarity_features.h"
+#include "storage/delta.h"
 #include "storage/state.h"
+#include "util/crc32.h"
 #include "util/executor.h"
 
 namespace eid::api {
@@ -160,6 +169,7 @@ void Detector::set_intel_domains(std::vector<std::string> domains) {
   std::sort(domains.begin(), domains.end());
   domains.erase(std::unique(domains.begin(), domains.end()), domains.end());
   intel_domains_ = std::move(domains);
+  delta_.intel_dirty = true;
 }
 
 core::LabelFn Detector::intel_fn() const {
@@ -170,40 +180,210 @@ core::LabelFn Detector::intel_fn() const {
   };
 }
 
-bool Detector::save_state(const std::filesystem::path& path,
-                          storage::LoadStatus* status) const {
-  // Borrow everything — a daily checkpoint must not deep-copy month-scale
-  // histories just to read them once.
+namespace {
+
+/// Flatten the pipeline's unfinalized training rows (from the given row
+/// marks) into the storage interchange format. No-op once models are
+/// finalized — an operating detector never re-solves from rows.
+void export_unfinalized_rows(const core::Pipeline& pipeline,
+                             std::size_t cc_first, std::size_t sim_first,
+                             storage::TrainingRows& rows) {
+  if (pipeline.models_ready()) return;
+  pipeline.export_training_rows(cc_first, sim_first, rows.cc, rows.cc_labels,
+                                rows.sim, rows.sim_labels);
+  rows.cc_cols = features::kCcFeatureCount;
+  rows.sim_cols = features::kSimFeatureCount;
+}
+
+/// Borrow everything — a daily checkpoint must not deep-copy month-scale
+/// histories just to read them once.
+storage::DetectorStateView make_state_view(
+    const core::Pipeline& pipeline, const std::vector<std::string>& intel,
+    std::size_t days_operated, const storage::TrainingRows* rows) {
   storage::DetectorStateView state;
-  state.config = &pipeline_.config();
-  state.domain_history = &pipeline_.domain_history();
-  state.ua_history = &pipeline_.ua_history();
-  state.top_sites = pipeline_.top_sites();
-  state.cc_model = &pipeline_.cc_model();
-  state.sim_model = &pipeline_.sim_model();
+  state.config = &pipeline.config();
+  state.domain_history = &pipeline.domain_history();
+  state.ua_history = &pipeline.ua_history();
+  state.top_sites = pipeline.top_sites();
+  state.cc_model = &pipeline.cc_model();
+  state.sim_model = &pipeline.sim_model();
   const core::Pipeline::WhoisTrainingStats whois =
-      pipeline_.whois_training_stats();
+      pipeline.whois_training_stats();
   state.training.whois_age_sum = whois.age_sum;
   state.training.whois_validity_sum = whois.validity_sum;
   state.training.whois_samples = whois.samples;
-  state.training.models_ready = pipeline_.models_ready();
-  state.intel_domains = &intel_domains_;
-  state.counters.days_operated = days_operated_;
-  return storage::save_detector_state(state, path,
-                                      state.config->parallelism.threads,
-                                      status, pipeline_.executor());
+  state.training.models_ready = pipeline.models_ready();
+  state.intel_domains = &intel;
+  state.counters.days_operated = days_operated;
+  state.training_rows = rows;
+  return state;
+}
+
+}  // namespace
+
+bool Detector::save_state(const std::filesystem::path& path,
+                          storage::LoadStatus* status) const {
+  storage::TrainingRows rows;
+  export_unfinalized_rows(pipeline_, 0, 0, rows);
+  const storage::DetectorStateView state = make_state_view(
+      pipeline_, intel_domains_, days_operated_, rows.empty() ? nullptr : &rows);
+  const bool ok = storage::save_detector_state(
+      state, path, state.config->parallelism.threads, status,
+      pipeline_.executor());
+  if (ok && delta_.active && delta_.path == path) {
+    // A direct full save replaced the base this path's chain was built on;
+    // drop the chain before stale frames can shadow (and be dropped
+    // against) the new base.
+    std::error_code ec;
+    std::filesystem::remove(storage::delta_chain_path(path), ec);
+    delta_.active = false;
+  }
+  return ok;
+}
+
+bool Detector::full_checkpoint(const std::filesystem::path& path,
+                               bool degenerate, storage::LoadStatus* status) {
+  storage::TrainingRows rows;
+  export_unfinalized_rows(pipeline_, 0, 0, rows);
+  const storage::DetectorStateView state = make_state_view(
+      pipeline_, intel_domains_, days_operated_, rows.empty() ? nullptr : &rows);
+  const std::string bytes = storage::encode_detector_state(
+      state, pipeline_.config().parallelism.threads, pipeline_.executor());
+  if (!storage::write_file_atomic(path, bytes, status)) {
+    delta_.active = false;
+    return false;
+  }
+  std::error_code ec;
+  std::filesystem::remove(storage::delta_chain_path(path), ec);
+  if (degenerate) {
+    delta_.active = false;
+    pipeline_.set_history_journaling(false);
+    return true;
+  }
+  delta_.active = true;
+  delta_.path = path;
+  delta_.base_crc = util::crc32(bytes);
+  delta_.next_seq = 1;
+  delta_.saves_since_full = 0;
+  delta_.cc_rows_mark = pipeline_.cc_training_rows();
+  delta_.sim_rows_mark = pipeline_.sim_training_rows();
+  delta_.intel_dirty = false;
+  delta_.top_sites_dirty = false;
+  pipeline_.set_history_journaling(true);  // fresh journal from this base
+  return true;
+}
+
+bool Detector::save_state_delta(const std::filesystem::path& path,
+                                const CheckpointPolicy& policy,
+                                storage::LoadStatus* status,
+                                const CheckpointExtras& extras) {
+  const bool degenerate = policy.full_every <= 1;
+  if (degenerate || !delta_.active || delta_.path != path ||
+      delta_.saves_since_full + 1 >= policy.full_every) {
+    return full_checkpoint(path, degenerate, status);
+  }
+  if (delta_.top_sites_dirty && pipeline_.top_sites() == nullptr) {
+    // Frames can replace a whitelist but carry no "cleared" marker;
+    // compact instead of diverging a replica.
+    return full_checkpoint(path, false, status);
+  }
+  const core::Pipeline::HistoryDelta hist = pipeline_.drain_history_journal();
+  storage::DeltaInputs inputs;
+  inputs.base_crc = delta_.base_crc;
+  inputs.seq = delta_.next_seq;
+  inputs.day = extras.has_cursor ? extras.cursor_day
+                                 : static_cast<util::Day>(days_operated_);
+  inputs.days_ingested = pipeline_.domain_history().days_ingested();
+  inputs.new_domains = &hist.new_domains;
+  const profile::UaHistory& uas = pipeline_.ua_history();
+  inputs.ua_entries.reserve(hist.touched_uas.size());
+  for (const std::string& ua : hist.touched_uas) {
+    bool popular = false;
+    std::span<const util::InternId> host_ids;
+    if (!uas.entry_view(ua, popular, host_ids)) continue;
+    storage::DeltaUaEntryView entry;
+    entry.ua = ua;
+    entry.popular = popular;
+    entry.hosts.reserve(host_ids.size());
+    for (const util::InternId id : host_ids) {
+      entry.hosts.push_back(uas.host_name(id));
+    }
+    inputs.ua_entries.push_back(std::move(entry));
+  }
+  inputs.config = &pipeline_.config();
+  inputs.cc_model = &pipeline_.cc_model();
+  inputs.sim_model = &pipeline_.sim_model();
+  const core::Pipeline::WhoisTrainingStats whois =
+      pipeline_.whois_training_stats();
+  inputs.training.whois_age_sum = whois.age_sum;
+  inputs.training.whois_validity_sum = whois.validity_sum;
+  inputs.training.whois_samples = whois.samples;
+  inputs.training.models_ready = pipeline_.models_ready();
+  inputs.counters.days_operated = days_operated_;
+  storage::TrainingRows rows;
+  export_unfinalized_rows(pipeline_, delta_.cc_rows_mark, delta_.sim_rows_mark,
+                          rows);
+  if (!rows.empty()) inputs.training_rows = &rows;
+  if (delta_.intel_dirty) inputs.intel_domains = &intel_domains_;
+  if (delta_.top_sites_dirty) inputs.top_sites = pipeline_.top_sites();
+  if (extras.has_cursor) {
+    inputs.has_cursor = true;
+    inputs.cursor_day = extras.cursor_day;
+    inputs.cursor_offset = extras.cursor_offset;
+  }
+  inputs.incidents = extras.incidents;
+  const std::string payload = storage::encode_delta_frame(inputs);
+  if (!storage::append_delta_frame(storage::delta_chain_path(path), payload,
+                                   status)) {
+    // The drained journal is gone; cold-start the chain so the next save
+    // full-rewrites and nothing is lost.
+    delta_.active = false;
+    return false;
+  }
+  ++delta_.next_seq;
+  ++delta_.saves_since_full;
+  delta_.cc_rows_mark = pipeline_.cc_training_rows();
+  delta_.sim_rows_mark = pipeline_.sim_training_rows();
+  delta_.intel_dirty = false;
+  delta_.top_sites_dirty = false;
+  obs::metrics().counter("eid_state_delta_frames_total").add(1);
+  return true;
 }
 
 bool Detector::load_state(const std::filesystem::path& path,
                           storage::LoadStatus* status) {
+  return load_state(path, nullptr, status);
+}
+
+bool Detector::load_state(const std::filesystem::path& path,
+                          storage::ChainLoadReport* report,
+                          storage::LoadStatus* status) {
+  storage::ChainLoadReport local;
+  storage::ChainLoadReport& chain = report != nullptr ? *report : local;
   std::optional<storage::DetectorState> state =
-      storage::load_detector_state(path, status);
+      storage::load_detector_state_chain(path, &chain, status);
   if (!state) return false;
   restore_state(std::move(*state));
+  if (!chain.degraded) {
+    // Clean replay (a torn tail is fine — append truncates it): continue
+    // appending to the same chain from the next sequence number.
+    delta_.active = true;
+    delta_.path = path;
+    delta_.base_crc = chain.base_crc;
+    delta_.next_seq = chain.last_seq + 1;
+    delta_.saves_since_full = chain.frames_applied;
+    delta_.cc_rows_mark = pipeline_.cc_training_rows();
+    delta_.sim_rows_mark = pipeline_.sim_training_rows();
+    delta_.intel_dirty = false;
+    delta_.top_sites_dirty = false;
+    pipeline_.set_history_journaling(true);
+  }
   return true;
 }
 
 void Detector::restore_state(storage::DetectorState state) {
+  delta_.active = false;  // chain bookkeeping is cold until a load primes it
+  pipeline_.set_history_journaling(false);
   pipeline_.set_config(state.config);
   pipeline_.restore_histories(std::move(state.domain_history),
                               std::move(state.ua_history));
@@ -213,6 +393,12 @@ void Detector::restore_state(storage::DetectorState state) {
   pipeline_.restore_whois_training_stats(
       {state.training.whois_age_sum, state.training.whois_validity_sum,
        static_cast<std::size_t>(state.training.whois_samples)});
+  pipeline_.clear_training_rows();
+  if (!state.training_rows.empty()) {
+    (void)pipeline_.import_training_rows(
+        state.training_rows.cc, state.training_rows.cc_labels,
+        state.training_rows.sim, state.training_rows.sim_labels);
+  }
   if (state.has_top_sites) {
     owned_top_sites_ =
         std::make_unique<profile::TopSitesList>(std::move(state.top_sites));
@@ -223,6 +409,60 @@ void Detector::restore_state(storage::DetectorState state) {
   }
   intel_domains_ = std::move(state.intel_domains);
   days_operated_ = static_cast<std::size_t>(state.counters.days_operated);
+  delta_.intel_dirty = false;
+  delta_.top_sites_dirty = false;
+}
+
+bool Detector::apply_state_delta(const storage::DeltaFrame& frame,
+                                 storage::LoadStatus* status) {
+  if (!frame.training_rows.empty() &&
+      ((frame.training_rows.cc_cols != features::kCcFeatureCount &&
+        !frame.training_rows.cc_labels.empty()) ||
+       (frame.training_rows.sim_cols != features::kSimFeatureCount &&
+        !frame.training_rows.sim_labels.empty()))) {
+    storage::set_status(status, storage::LoadError::Malformed,
+                        "delta frame: training-row width does not match this "
+                        "build's feature count");
+    return false;
+  }
+  // A detector applying frames is a replica of whoever wrote them; it must
+  // not also append to that chain (its journals never saw these changes).
+  // The first post-takeover save full-rewrites instead.
+  delta_.active = false;
+  pipeline_.set_history_journaling(false);
+  pipeline_.set_config(frame.config);
+  pipeline_.restore_models(frame.cc_model, frame.sim_model,
+                           frame.training.models_ready);
+  pipeline_.restore_whois_training_stats(
+      {frame.training.whois_age_sum, frame.training.whois_validity_sum,
+       static_cast<std::size_t>(frame.training.whois_samples)});
+  pipeline_.absorb_domain_delta(
+      frame.new_domains, static_cast<std::size_t>(frame.days_ingested));
+  std::vector<std::string_view> host_views;
+  for (const auto& entry : frame.ua_entries) {
+    host_views.assign(entry.hosts.begin(), entry.hosts.end());
+    pipeline_.absorb_ua_entry(
+        entry.ua, entry.popular,
+        std::span<const std::string_view>(host_views.data(),
+                                          host_views.size()));
+  }
+  if (!frame.training_rows.empty()) {
+    (void)pipeline_.import_training_rows(
+        frame.training_rows.cc, frame.training_rows.cc_labels,
+        frame.training_rows.sim, frame.training_rows.sim_labels);
+  }
+  if (frame.training.models_ready) pipeline_.clear_training_rows();
+  if (frame.has_intel) {
+    intel_domains_ = frame.intel_domains;  // frames carry it sorted+unique
+  }
+  if (frame.has_top_sites) {
+    auto sites = std::make_unique<profile::TopSitesList>();
+    for (const std::string& site : frame.top_sites) sites->add(site);
+    owned_top_sites_ = std::move(sites);
+    pipeline_.set_top_sites(owned_top_sites_.get());
+  }
+  days_operated_ = static_cast<std::size_t>(frame.counters.days_operated);
+  return true;
 }
 
 HealthSnapshot Detector::health_snapshot() const {

@@ -29,7 +29,13 @@
 #include "storage/status.h"
 
 namespace eid::storage {
+struct ChainLoadReport;
+struct DeltaFrame;
 struct DetectorState;
+}
+
+namespace eid::core {
+class IncidentStore;
 }
 
 namespace eid::rt {
@@ -59,6 +65,24 @@ struct HealthSnapshot {
   double rt_backlog_events = 0.0;      ///< events held by the rt window
   double executor_queue_depth = 0.0;   ///< tasks queued, not yet picked up
   std::size_t executor_workers = 0;    ///< pool size (0 = inline execution)
+};
+
+/// How Detector::save_state_delta balances save cost against chain length.
+struct CheckpointPolicy {
+  /// Full-checkpoint rewrite (compaction) every this many saves; the saves
+  /// in between append O(day's growth) delta frames to "<state>.delta".
+  /// 0 or 1 degrades to a full rewrite on every save.
+  std::size_t full_every = 7;
+};
+
+/// Failover payload carried inside delta frames (storage/delta.h): where
+/// in the durable log the day tail stands, and the incident store a hot
+/// standby resumes emission dedup from. Both optional.
+struct CheckpointExtras {
+  bool has_cursor = false;
+  util::Day cursor_day = 0;         ///< day the tail cursor points into
+  std::uint64_t cursor_offset = 0;  ///< byte offset into that day's log
+  const core::IncidentStore* incidents = nullptr;
 };
 
 /// Per-day callback of Detector::analyze_days. With pipeline_depth > 1 it
@@ -106,6 +130,7 @@ class Detector {
   void set_top_sites(const profile::TopSitesList* top_sites) {
     owned_top_sites_.reset();
     pipeline_.set_top_sites(top_sites);
+    delta_.top_sites_dirty = true;
   }
 
   /// External intelligence (IOC) snapshot carried with the detector state.
@@ -192,6 +217,37 @@ class Detector {
   /// decoding the file twice).
   void restore_state(storage::DetectorState state);
 
+  // ---- Delta checkpoints + failover (storage/delta.h) ----
+
+  /// Incremental daily save: every policy.full_every-th call rewrites the
+  /// full checkpoint (and truncates the chain); the calls in between
+  /// append one delta frame — the domains first seen, UA entries touched
+  /// and training rows appended since the previous save, plus the always-
+  /// small absolute sections — costing O(day's growth) instead of
+  /// O(month-scale history). `extras` rides the failover payload (rt tail
+  /// cursor, incident snapshot) into the frame. Falls back to a full
+  /// rewrite whenever the chain bookkeeping is cold (first save, path
+  /// change, degraded load, failed append). Resuming via load_state() is
+  /// bit-identical to resuming from a full save.
+  bool save_state_delta(const std::filesystem::path& path,
+                        const CheckpointPolicy& policy = {},
+                        storage::LoadStatus* status = nullptr,
+                        const CheckpointExtras& extras = {});
+
+  /// load_state that also replays the delta chain next to `path` and
+  /// reports what it applied (frames, failover cursor, incidents). On a
+  /// clean replay the detector continues appending to the same chain; on a
+  /// degraded one the next save_state_delta compacts.
+  bool load_state(const std::filesystem::path& path,
+                  storage::ChainLoadReport* report,
+                  storage::LoadStatus* status = nullptr);
+
+  /// Apply one decoded delta frame to the live detector — the hot-standby
+  /// replica path (rt/standby.h), equivalent to what load_state's chain
+  /// replay does per frame. False + status when the frame does not fit.
+  bool apply_state_delta(const storage::DeltaFrame& frame,
+                         storage::LoadStatus* status = nullptr);
+
   /// Completed operation days (run_day calls), restored by load_state().
   std::size_t days_operated() const { return days_operated_; }
 
@@ -226,10 +282,32 @@ class Detector {
   /// both modes.
   friend class rt::ContinuousEngine;
 
+  /// Delta-chain bookkeeping between saves. Mutable because a plain
+  /// (const) save_state() to the tracked path invalidates the chain and
+  /// must deactivate it — otherwise later delta frames would reference a
+  /// base checkpoint that no longer exists and silently drop on load.
+  struct DeltaTracker {
+    bool active = false;             ///< appending to `path`'s chain
+    std::filesystem::path path;
+    std::uint32_t base_crc = 0;      ///< CRC-32 of the base file bytes
+    std::uint64_t next_seq = 1;
+    std::size_t saves_since_full = 0;
+    std::size_t cc_rows_mark = 0;    ///< training rows already persisted
+    std::size_t sim_rows_mark = 0;
+    bool intel_dirty = false;        ///< re-ship intel in the next frame
+    bool top_sites_dirty = false;    ///< re-ship the whitelist likewise
+  };
+
+  /// Full rewrite + tracker (re)prime — the compaction path of
+  /// save_state_delta. `degenerate` skips priming (policy always-full).
+  bool full_checkpoint(const std::filesystem::path& path, bool degenerate,
+                       storage::LoadStatus* status);
+
   core::Pipeline pipeline_;
   std::unique_ptr<profile::TopSitesList> owned_top_sites_;
   std::vector<std::string> intel_domains_;
   std::size_t days_operated_ = 0;
+  mutable DeltaTracker delta_;
 };
 
 }  // namespace eid::api

@@ -1,10 +1,16 @@
 #include "api/sources.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
+#ifndef _WIN32
+#include <sys/stat.h>
+#endif
+
 #include "logs/io.h"
 #include "obs/metrics.h"
+#include "util/fault_injection.h"
 
 namespace eid::api {
 
@@ -22,6 +28,10 @@ struct SourceMetrics {
   obs::Counter& events = obs::metrics().counter("eid_source_events_total");
   obs::Gauge& partial_line =
       obs::metrics().gauge("eid_source_partial_line_bytes");
+  obs::Counter& rotations =
+      obs::metrics().counter("eid_source_rotations_total");
+  obs::Counter& transient_errors =
+      obs::metrics().counter("eid_source_transient_errors_total");
   obs::Counter& flows = obs::metrics().counter("eid_source_flows_total");
   obs::Counter& flows_kept =
       obs::metrics().counter("eid_source_flows_kept_total");
@@ -64,8 +74,24 @@ TsvFileSource::TsvFileSource(std::filesystem::path path, util::Day day,
 }
 
 void TsvFileSource::open() {
+  util::FaultInjector& faults = util::FaultInjector::instance();
+  if (faults.any_armed() && faults.fail_open(util::FaultPoint::TailOpen)) {
+    stats_.opened = false;
+    return;
+  }
   file_.open(path_);
   stats_.opened = static_cast<bool>(file_);
+  identity_known_ = false;
+#ifndef _WIN32
+  if (stats_.opened) {
+    struct ::stat st{};
+    if (::stat(path_.c_str(), &st) == 0) {
+      file_dev_ = static_cast<std::uint64_t>(st.st_dev);
+      file_ino_ = static_cast<std::uint64_t>(st.st_ino);
+      identity_known_ = true;
+    }
+  }
+#endif
 }
 
 void TsvFileSource::publish_stats() {
@@ -75,19 +101,95 @@ void TsvFileSource::publish_stats() {
   metrics.malformed.add(stats_.malformed - published_.malformed);
   metrics.bytes.add(stats_.byte_offset - published_.byte_offset);
   metrics.events.add(stats_.events - published_.events);
+  metrics.rotations.add(stats_.rotations - published_.rotations);
+  metrics.transient_errors.add(stats_.transient_errors -
+                               published_.transient_errors);
   metrics.partial_line.set(static_cast<double>(stats_.partial_line_bytes));
   published_ = stats_;
 }
 
+bool TsvFileSource::detect_rotation() {
+#ifndef _WIN32
+  struct ::stat st{};
+  if (::stat(path_.c_str(), &st) != 0) {
+    // The path vanished: logrotate's unlink window, or the collector died.
+    // Treat as transient — a recreated file is picked up (as a rotation)
+    // on a later poll.
+    return false;
+  }
+  if (identity_known_ && (static_cast<std::uint64_t>(st.st_dev) != file_dev_ ||
+                          static_cast<std::uint64_t>(st.st_ino) != file_ino_)) {
+    return true;  // renamed away and recreated
+  }
+  if (static_cast<std::uint64_t>(st.st_size) < stats_.byte_offset) {
+    return true;  // truncated in place (copytruncate rotation)
+  }
+#else
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path_, ec);
+  if (!ec && size < stats_.byte_offset) return true;
+#endif
+  return false;
+}
+
+void TsvFileSource::note_transient_error() {
+  ++stats_.transient_errors;
+  backoff_polls_ = std::min<std::size_t>(
+      backoff_polls_ == 0 ? 1 : backoff_polls_ * 2, 32);
+  backoff_remaining_ = backoff_polls_;
+}
+
 std::optional<EventChunk> TsvFileSource::next_chunk() {
   if (tail_) {
+    // Exponential backoff after transient failures: sit out this poll.
+    if (backoff_remaining_ > 0) {
+      --backoff_remaining_;
+      return std::nullopt;
+    }
     // The file may not exist yet (collector not started): retry the open.
+    // That is expected startup state — the contract is "retried on every
+    // call" — so only an open that fails with the file *present* counts
+    // as a transient error and backs off.
     if (!stats_.opened) {
       file_.close();
       file_.clear();
       open();
-      if (!stats_.opened) return std::nullopt;
+      if (!stats_.opened) {
+        std::error_code ec;
+        if (std::filesystem::exists(path_, ec)) note_transient_error();
+        publish_stats();
+        return std::nullopt;
+      }
     }
+    if (detect_rotation()) {
+      // New file under the same name (or truncated in place): everything
+      // already consumed is gone; start over at offset 0. Reset the
+      // published cursor with it or the byte-delta math underflows.
+      ++stats_.rotations;
+      stats_.byte_offset = 0;
+      published_.byte_offset = 0;
+      stats_.partial_line_bytes = 0;
+      file_.close();
+      file_.clear();
+      open();
+      if (!stats_.opened) {
+        note_transient_error();
+        publish_stats();
+        return std::nullopt;
+      }
+    }
+    util::FaultInjector& faults = util::FaultInjector::instance();
+    if (faults.any_armed()) {
+      bool fail = false;
+      std::string probe;  // FailOp is the only meaningful tail-read fault
+      faults.filter_read(util::FaultPoint::TailRead, probe, fail);
+      if (fail) {
+        note_transient_error();
+        publish_stats();
+        return std::nullopt;
+      }
+    }
+    backoff_polls_ = 0;  // reachable and readable: full retry speed again
     // Clear a previous pass's eof and resume at the last complete line.
     // A partially written trailing line left there is re-read whole once
     // its newline lands.
@@ -163,6 +265,8 @@ bool TsvFileSource::reset() {
   published_ = Stats{};  // a replay's counts are new fleet-total increments
   buffer_.clear();
   empty_marker_sent_ = false;
+  backoff_polls_ = 0;
+  backoff_remaining_ = 0;
   open();
   return stats_.opened;
 }

@@ -44,6 +44,13 @@ class TsvFileSource final : public EventSource {
     std::size_t parsed = 0;     ///< lines parsed into records
     std::size_t malformed = 0;  ///< std::nullopt from logs::parse_*
     std::size_t events = 0;     ///< reduced events handed out
+    /// Tail mode: times the file was detected as rotated or truncated
+    /// (inode/device changed, or it shrank below the cursor) and re-read
+    /// from offset 0.
+    std::size_t rotations = 0;
+    /// Tail mode: transient open/read failures absorbed (each backs the
+    /// retry cadence off exponentially; any successful poll resets it).
+    std::size_t transient_errors = 0;
     /// Byte offset just past the last *complete* line consumed — the
     /// resume point for tail mode, and an operator-visible progress
     /// cursor for batch replay.
@@ -83,6 +90,15 @@ class TsvFileSource final : public EventSource {
   /// or finish()).
   void set_tail(bool enabled) { tail_ = enabled; }
 
+  /// Tail mode resume (failover takeover / checkpointed cursor): skip the
+  /// file prefix a previous process already consumed. Call before the
+  /// first next_chunk(); the skipped bytes are not re-counted in the
+  /// process metrics.
+  void resume_at(std::uint64_t byte_offset) {
+    stats_.byte_offset = byte_offset;
+    published_.byte_offset = byte_offset;
+  }
+
   /// Per-source ingestion accounting. The same counts feed the process
   /// metrics registry (eid_source_* series) as deltas after every
   /// next_chunk() call; this struct stays the per-file view.
@@ -93,6 +109,13 @@ class TsvFileSource final : public EventSource {
 
   void open();
   void publish_stats();
+  /// Tail mode: did the file under `path_` rotate (new inode/device) or
+  /// shrink below the cursor? Detecting it resets the cursor to 0.
+  bool detect_rotation();
+  /// Count a transient open/read failure and double the retry backoff
+  /// (capped): the next `backoff_remaining_` polls return "nothing yet"
+  /// without touching the file.
+  void note_transient_error();
 
   std::filesystem::path path_;
   util::Day day_;
@@ -108,6 +131,13 @@ class TsvFileSource final : public EventSource {
   std::vector<logs::ConnEvent> buffer_;
   bool empty_marker_sent_ = false;
   bool tail_ = false;
+
+  // Tail-mode file identity (rotation detection) and retry backoff.
+  bool identity_known_ = false;
+  std::uint64_t file_dev_ = 0;
+  std::uint64_t file_ino_ = 0;
+  std::size_t backoff_polls_ = 0;     ///< current backoff width (polls)
+  std::size_t backoff_remaining_ = 0; ///< polls left before the next retry
 };
 
 /// Streams simulated enterprise traffic for [first, last], one day at a

@@ -131,6 +131,28 @@ std::vector<Incident> IncidentStore::active_since(util::Day since) const {
   return out;
 }
 
+void IncidentStore::restore(std::vector<Incident> incidents, int next_id) {
+  for (const Incident& incident : incidents) {
+    next_id = std::max(next_id, incident.id + 1);
+  }
+  storage_.clear();
+  storage_.resize(static_cast<std::size_t>(std::max(next_id, 0)));
+  live_.assign(storage_.size(), false);
+  domain_index_.clear();
+  host_index_.clear();
+  live_count_ = 0;
+  next_id_ = static_cast<int>(storage_.size());
+  for (Incident& incident : incidents) {
+    if (incident.id < 0) continue;  // defensively skip corrupt slots
+    const auto slot = static_cast<std::size_t>(incident.id);
+    if (live_[slot]) continue;      // duplicate id: first one wins
+    live_[slot] = true;
+    ++live_count_;
+    storage_[slot] = std::move(incident);
+    index(storage_[slot]);
+  }
+}
+
 const Incident* IncidentStore::find(int id) const {
   if (id < 0 || static_cast<std::size_t>(id) >= storage_.size()) return nullptr;
   if (!live_[static_cast<std::size_t>(id)]) return nullptr;

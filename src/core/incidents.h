@@ -71,6 +71,16 @@ class IncidentStore {
 
   std::size_t size() const { return live_count_; }
 
+  /// Next id ingest_community() would assign (checkpointing: restoring
+  /// with the same next_id keeps post-restore ids identical to an
+  /// uninterrupted run even after merges retired high slots).
+  int next_id() const { return next_id_; }
+
+  /// Replace the store's contents with persisted incidents. Each incident
+  /// returns to the slot its id names (ids must be unique, >= 0 and come
+  /// from a store with the given next_id, i.e. id < next_id).
+  void restore(std::vector<Incident> incidents, int next_id);
+
  private:
   void merge_into(Incident& target, Incident& source);
   void index(const Incident& incident);

@@ -449,4 +449,58 @@ DayReport Pipeline::run_day(const std::vector<logs::ConnEvent>& events,
   return report;
 }
 
+void Pipeline::export_training_rows(std::size_t cc_first, std::size_t sim_first,
+                                    std::vector<double>& cc,
+                                    std::vector<double>& cc_labels,
+                                    std::vector<double>& sim,
+                                    std::vector<double>& sim_labels) const {
+  cc.clear();
+  cc_labels.clear();
+  sim.clear();
+  sim_labels.clear();
+  cc_first = std::min(cc_first, cc_rows_.size());
+  sim_first = std::min(sim_first, sim_rows_.size());
+  cc.reserve((cc_rows_.size() - cc_first) * features::kCcFeatureCount);
+  for (std::size_t i = cc_first; i < cc_rows_.size(); ++i) {
+    cc.insert(cc.end(), cc_rows_[i].begin(), cc_rows_[i].end());
+  }
+  cc_labels.assign(cc_labels_.begin() + static_cast<std::ptrdiff_t>(cc_first),
+                   cc_labels_.end());
+  sim.reserve((sim_rows_.size() - sim_first) * features::kSimFeatureCount);
+  for (std::size_t i = sim_first; i < sim_rows_.size(); ++i) {
+    sim.insert(sim.end(), sim_rows_[i].begin(), sim_rows_[i].end());
+  }
+  sim_labels.assign(sim_labels_.begin() + static_cast<std::ptrdiff_t>(sim_first),
+                    sim_labels_.end());
+}
+
+bool Pipeline::import_training_rows(std::span<const double> cc,
+                                    std::span<const double> cc_labels,
+                                    std::span<const double> sim,
+                                    std::span<const double> sim_labels) {
+  if (cc.size() != cc_labels.size() * features::kCcFeatureCount ||
+      sim.size() != sim_labels.size() * features::kSimFeatureCount) {
+    return false;
+  }
+  cc_rows_.reserve(cc_rows_.size() + cc_labels.size());
+  for (std::size_t i = 0; i < cc_labels.size(); ++i) {
+    std::array<double, features::kCcFeatureCount> row;
+    std::copy_n(cc.begin() +
+                    static_cast<std::ptrdiff_t>(i * features::kCcFeatureCount),
+                features::kCcFeatureCount, row.begin());
+    cc_rows_.push_back(row);
+  }
+  cc_labels_.insert(cc_labels_.end(), cc_labels.begin(), cc_labels.end());
+  sim_rows_.reserve(sim_rows_.size() + sim_labels.size());
+  for (std::size_t i = 0; i < sim_labels.size(); ++i) {
+    std::array<double, features::kSimFeatureCount> row;
+    std::copy_n(sim.begin() +
+                    static_cast<std::ptrdiff_t>(i * features::kSimFeatureCount),
+                features::kSimFeatureCount, row.begin());
+    sim_rows_.push_back(row);
+  }
+  sim_labels_.insert(sim_labels_.end(), sim_labels.begin(), sim_labels.end());
+  return true;
+}
+
 }  // namespace eid::core

@@ -313,6 +313,67 @@ class Pipeline {
 
   bool models_ready() const { return models_ready_; }
 
+  // ---- Delta-checkpoint hooks (storage/delta.h) ----
+
+  /// Start (or stop) journaling history mutations for delta saves.
+  void set_history_journaling(bool on) {
+    domain_history_.set_journaling(on);
+    ua_history_.set_journaling(on);
+  }
+
+  /// History changes since the last drain (or since journaling started).
+  struct HistoryDelta {
+    std::vector<std::string> new_domains;  ///< first-seen, in arrival order
+    std::vector<std::string> touched_uas;  ///< mutated entries, first-touch
+  };
+
+  HistoryDelta drain_history_journal() {
+    return {domain_history_.drain_journal(), ua_history_.drain_journal()};
+  }
+
+  /// Apply a domain-history delta (standby replica path): insert the
+  /// domains, set the absolute day counter.
+  void absorb_domain_delta(std::span<const std::string> domains,
+                           std::size_t days_ingested) {
+    domain_history_.absorb(domains, days_ingested);
+  }
+
+  /// Replace one UA entry wholesale (standby replica path).
+  void absorb_ua_entry(std::string_view ua, bool popular,
+                       std::span<const std::string_view> hosts) {
+    ua_history_.restore_entry(ua, popular, hosts);
+  }
+
+  /// Accumulated training-row counts, for delta saves that only ship the
+  /// rows appended since the previous frame.
+  std::size_t cc_training_rows() const { return cc_labels_.size(); }
+  std::size_t sim_training_rows() const { return sim_labels_.size(); }
+
+  /// Flatten accumulated training rows starting at the given row indices
+  /// (row-major, features::kCcFeatureCount / kSimFeatureCount columns).
+  /// The storage layer cannot see the fixed-width arrays, so flat double
+  /// vectors are the interchange format.
+  void export_training_rows(std::size_t cc_first, std::size_t sim_first,
+                            std::vector<double>& cc,
+                            std::vector<double>& cc_labels,
+                            std::vector<double>& sim,
+                            std::vector<double>& sim_labels) const;
+
+  /// Append restored training rows (mid-training crash resume). False when
+  /// the flat data is not a whole number of rows of the expected width.
+  bool import_training_rows(std::span<const double> cc,
+                            std::span<const double> cc_labels,
+                            std::span<const double> sim,
+                            std::span<const double> sim_labels);
+
+  /// Drop accumulated training rows (checkpoint restore replaces them).
+  void clear_training_rows() {
+    cc_rows_.clear();
+    cc_labels_.clear();
+    sim_rows_.clear();
+    sim_labels_.clear();
+  }
+
   // ---- Operation ----
 
   /// Steps 1-2 + feature analysis, no thresholding, no history update.

@@ -6,8 +6,10 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "graph/day_graph.h"
@@ -29,11 +31,11 @@ class DomainHistory {
   /// Record a day's distinct domains. Call at end-of-day so the day's own
   /// traffic does not mask its new destinations.
   void update(const std::vector<std::string>& domains) {
-    for (const auto& d : domains) seen_.insert(d);
+    for (const auto& d : domains) insert(d);
     ++days_ingested_;
   }
 
-  void update_one(std::string_view domain) { seen_.insert(std::string(domain)); }
+  void update_one(std::string_view domain) { insert(domain); }
 
   std::size_t size() const { return seen_.size(); }
   std::size_t days_ingested() const { return days_ingested_; }
@@ -47,9 +49,39 @@ class DomainHistory {
     days_ingested_ = days;
   }
 
+  // ---- Delta checkpoints (storage/delta.h) ----
+
+  /// Start (or stop) recording first-seen domains. Turning journaling on
+  /// clears any previous journal; it never affects is_new()/update().
+  void set_journaling(bool on) {
+    journaling_ = on;
+    journal_.clear();
+  }
+
+  /// Domains first seen since journaling started (or the last drain), in
+  /// first-seen order. Draining resets the journal.
+  std::vector<std::string> drain_journal() {
+    return std::exchange(journal_, {});
+  }
+
+  /// Apply a delta: insert `domains`, set the absolute day counter a frame
+  /// carries. Never journals (deltas are already on disk).
+  void absorb(std::span<const std::string> domains, std::size_t days_ingested) {
+    for (const auto& d : domains) seen_.insert(d);
+    days_ingested_ = days_ingested;
+  }
+
  private:
+  void insert(std::string_view domain) {
+    if (seen_.contains(domain)) return;  // allocation-free on the hot path
+    const auto [it, fresh] = seen_.emplace(domain);
+    if (fresh && journaling_) journal_.push_back(*it);
+  }
+
   DomainSet seen_;
   std::size_t days_ingested_ = 0;
+  bool journaling_ = false;
+  std::vector<std::string> journal_;  ///< first-seen since last drain
 };
 
 /// Result of rare-destination extraction for one day.

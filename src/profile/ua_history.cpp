@@ -1,6 +1,7 @@
 #include "profile/ua_history.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace eid::profile {
 
@@ -21,6 +22,29 @@ void UaHistory::observe(std::string_view ua, std::string_view host) {
     entry.host_ids.clear();            // popularity is all we need from now on
     entry.host_ids.shrink_to_fit();
   }
+  // The host push (and any popularity flip it caused) is the single
+  // mutation site of observe(): a fresh entry always reaches it, and the
+  // early returns above mean nothing changed.
+  if (journaling_) journal_touch(it->first);
+}
+
+std::vector<std::string> UaHistory::drain_journal() {
+  journal_seen_.clear();
+  return std::exchange(journal_, {});
+}
+
+bool UaHistory::entry_view(std::string_view ua, bool& popular,
+                           std::span<const util::InternId>& hosts) const {
+  const auto it = uas_.find(ua);
+  if (it == uas_.end()) return false;
+  popular = it->second.popular;
+  hosts = std::span<const util::InternId>(it->second.host_ids.data(),
+                                          it->second.host_ids.size());
+  return true;
+}
+
+void UaHistory::journal_touch(const std::string& ua) {
+  if (journal_seen_.insert(ua).second) journal_.push_back(ua);
 }
 
 void UaHistory::observe_day(const std::vector<logs::ConnEvent>& events) {

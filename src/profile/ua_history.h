@@ -103,14 +103,39 @@ class UaHistory {
   void restore_entry_ids(std::string_view ua, bool popular,
                          std::vector<util::InternId> host_ids);
 
+  // ---- Delta checkpoints (storage/delta.h) ----
+
+  /// Start (or stop) recording which UAs observe() mutates. Turning
+  /// journaling on clears any previous journal. Restores never journal.
+  void set_journaling(bool on) {
+    journaling_ = on;
+    journal_.clear();
+    journal_seen_.clear();
+  }
+
+  /// UA strings whose entries changed since journaling started (or the
+  /// last drain), in first-touch order. Draining resets the journal.
+  std::vector<std::string> drain_journal();
+
+  /// Current entry for a UA: popular flag + host-id span (ids index
+  /// host_name(); empty once popular). False when the UA is unknown.
+  bool entry_view(std::string_view ua, bool& popular,
+                  std::span<const util::InternId>& hosts) const;
+
  private:
   struct Entry {
     std::vector<util::InternId> host_ids;  ///< capped at rare_threshold_
     bool popular = false;
   };
+
+  void journal_touch(const std::string& ua);
+
   util::TransparentStringMap<Entry> uas_;
   util::Interner hosts_;  ///< distinct hosts across all rare entries
   std::size_t rare_threshold_;
+  bool journaling_ = false;
+  std::vector<std::string> journal_;  ///< touched UAs, first-touch order
+  util::TransparentStringSet journal_seen_;
 };
 
 }  // namespace eid::profile

@@ -170,6 +170,19 @@ class ContinuousEngine {
   /// the detection state).
   ContinuousReport take_report();
 
+  /// Hot-standby takeover (rt/standby.h): adopt the failed primary's
+  /// cross-day incident store before the first poll, so post-takeover
+  /// emissions continue its incident ids and domains it already announced
+  /// are not re-announced as new.
+  void restore_incidents(core::IncidentStore incidents) {
+    incidents_ = std::move(incidents);
+    emitted_domains_.clear();
+    for (const core::Incident& incident : incidents_.incidents()) {
+      emitted_domains_.insert(incident.domains.begin(),
+                              incident.domains.end());
+    }
+  }
+
  private:
   /// One in-flight day close (parallelism.pipeline_depth > 1): close_day
   /// replays the day's buckets synchronously, then hands the expensive

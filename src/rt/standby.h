@@ -1,0 +1,113 @@
+// Hot-standby failover: a second monitor process that tails the primary's
+// delta-checkpoint chain (storage/delta.h) instead of the raw log,
+// applying frames as the primary appends them, and taking over the live
+// tail when the primary's heartbeat goes stale.
+//
+// Protocol:
+//   * the primary touches "<state>.hb" (heartbeat_path) on every poll
+//     loop and appends a delta frame per checkpoint, carrying the tail
+//     cursor and the incident store (CheckpointExtras);
+//   * the standby polls the chain: complete CRC-clean frames whose base
+//     CRC and seq continue its replay are applied through
+//     api::Detector::apply_state_delta; a torn tail is an append in
+//     progress (wait); a frame that no longer fits (new base CRC, seq
+//     reset, shrunk chain) means the primary compacted — reload the new
+//     base + chain from scratch;
+//   * when heartbeat_age_seconds exceeds the configured staleness, the
+//     standby owns the detector state the last frame described: histories
+//     and models as of the last day close, the primary's incident store,
+//     and the cursor naming the day being tailed. Takeover re-reads that
+//     day's log from offset 0 — histories only advance at day close, so
+//     the rebuilt day report is bit-identical to the one the
+//     uninterrupted primary would have produced.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "api/detector.h"
+#include "core/incidents.h"
+#include "storage/delta.h"
+
+namespace eid::rt {
+
+struct StandbyConfig {
+  std::filesystem::path state_path;
+  /// Heartbeat age (seconds) past which the primary counts as dead.
+  double stale_after_seconds = 10.0;
+};
+
+struct StandbyStats {
+  std::size_t polls = 0;
+  std::size_t frames_applied = 0;
+  std::size_t full_reloads = 0;  ///< base replaced (compaction) mid-watch
+  std::size_t torn_waits = 0;    ///< polls that saw an append in progress
+};
+
+/// Replays a primary's checkpoint chain onto a warm Detector.
+class StandbyReplica {
+ public:
+  /// The detector must outlive the replica. It is wholly owned by the
+  /// replica until takeover: start()/poll() overwrite its state.
+  StandbyReplica(api::Detector& detector, StandbyConfig config);
+
+  /// Load the base checkpoint plus every applicable chain frame. False
+  /// (with status) when the base cannot be loaded — e.g. the primary has
+  /// not written its first checkpoint yet; poll() keeps retrying.
+  bool start(storage::LoadStatus* status = nullptr);
+
+  /// Apply frames appended since the last poll (or start()). Returns how
+  /// many landed this call; compaction by the primary triggers a full
+  /// reload (counted in stats, not in the return value).
+  std::size_t poll(storage::LoadStatus* status = nullptr);
+
+  bool started() const { return started_; }
+  std::uint64_t last_seq() const { return next_seq_ - 1; }
+
+  /// Tail cursor from the newest applied frame (where the primary was).
+  bool has_cursor() const { return has_cursor_; }
+  std::int64_t cursor_day() const { return cursor_day_; }
+  std::uint64_t cursor_offset() const { return cursor_offset_; }
+
+  /// Rebuild the primary's incident store for engine adoption at takeover
+  /// (ContinuousEngine::restore_incidents). False when no applied frame
+  /// carried one.
+  bool take_incidents(core::IncidentStore& store) const;
+
+  const StandbyStats& stats() const { return stats_; }
+
+ private:
+  bool reload(storage::LoadStatus* status);
+  void adopt_report(storage::ChainLoadReport&& report);
+
+  api::Detector& detector_;
+  StandbyConfig config_;
+  bool started_ = false;
+  std::uint32_t base_crc_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t applied_bytes_ = 0;
+  /// Chain prefix length at the last reload-triggering mismatch: a chain
+  /// that is *persistently* bad (degraded load) must not re-reload on
+  /// every poll, only when the chain changes again.
+  std::uint64_t suspect_bytes_ = ~std::uint64_t{0};
+  bool has_cursor_ = false;
+  std::int64_t cursor_day_ = 0;
+  std::uint64_t cursor_offset_ = 0;
+  bool has_incidents_ = false;
+  int incidents_next_id_ = 0;
+  std::vector<core::Incident> incidents_;
+  StandbyStats stats_{};
+};
+
+/// "<state>.hb" — the primary's liveness beacon (mtime is the signal).
+std::filesystem::path heartbeat_path(const std::filesystem::path& state_path);
+
+/// Rewrite the beacon so its mtime is "now". False on I/O failure.
+bool touch_heartbeat(const std::filesystem::path& path);
+
+/// Seconds since the beacon last moved; +infinity when it does not exist.
+double heartbeat_age_seconds(const std::filesystem::path& path);
+
+}  // namespace eid::rt

@@ -10,18 +10,18 @@
 
 #include "util/binary.h"
 #include "util/crc32.h"
+#include "util/fault_injection.h"
 
 namespace eid::storage {
-namespace {
 
 /// Flush a path's data (and, for directories, the rename record) to
 /// stable storage. Without this, "atomic" tmp+rename only protects
 /// against process crashes — a power loss after the rename is journaled
 /// but before the data blocks land can leave the path pointing at a
 /// torn file, losing the previous good checkpoint.
-void sync_path(const char* path) {
+void sync_path_durable(const std::filesystem::path& path) {
 #ifndef _WIN32
-  const int fd = ::open(path, O_RDONLY);
+  const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd >= 0) {
     ::fsync(fd);
     ::close(fd);
@@ -30,8 +30,6 @@ void sync_path(const char* path) {
   (void)path;
 #endif
 }
-
-}  // namespace
 
 void ContainerWriter::add_section(SectionId id, std::string payload) {
   sections_.emplace_back(static_cast<std::uint64_t>(id), std::move(payload));
@@ -130,6 +128,13 @@ bool looks_like_container(std::string_view bytes) {
 
 std::optional<std::string> read_file(const std::filesystem::path& path,
                                      LoadStatus* status) {
+  util::FaultInjector& faults = util::FaultInjector::instance();
+  if (faults.any_armed() &&
+      faults.fail_open(util::FaultPoint::StorageOpenRead)) {
+    set_status(status, LoadError::IoError,
+               "injected open failure on " + path.string());
+    return std::nullopt;
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     // A present-but-unreadable file (permissions, I/O error) must not be
@@ -153,27 +158,66 @@ std::optional<std::string> read_file(const std::filesystem::path& path,
     set_status(status, LoadError::IoError, "read failed on " + path.string());
     return std::nullopt;
   }
+  if (faults.any_armed()) {
+    bool fail = false;
+    faults.filter_read(util::FaultPoint::StorageRead, bytes, fail);
+    if (fail) {
+      set_status(status, LoadError::IoError,
+                 "injected read failure on " + path.string());
+      return std::nullopt;
+    }
+  }
   return bytes;
 }
 
 bool write_file_atomic(const std::filesystem::path& path,
                        std::string_view bytes, LoadStatus* status) {
+  util::FaultInjector& faults = util::FaultInjector::instance();
   const std::filesystem::path tmp = path.string() + ".tmp";
+  if (faults.any_armed() &&
+      faults.fail_open(util::FaultPoint::StorageOpenWrite)) {
+    set_status(status, LoadError::IoError,
+               "injected open failure on " + tmp.string());
+    return false;
+  }
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
       set_status(status, LoadError::IoError, "cannot open " + tmp.string());
       return false;
     }
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    std::size_t allowed = bytes.size();
+    bool injected_fail = false;
+    if (faults.any_armed()) {
+      allowed = faults.filter_write(util::FaultPoint::StorageWrite,
+                                    bytes.size(), injected_fail);
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(allowed));
     out.flush();  // surface disk-full before promoting the tmp file
+    if (injected_fail) {
+      // A simulated crash mid-write: the torn tmp file stays on disk
+      // (that is what a real crash leaves) and the final path is never
+      // touched — the previous good checkpoint survives.
+      set_status(status, LoadError::IoError,
+                 "injected torn write on " + tmp.string());
+      return false;
+    }
     if (!out) {
       set_status(status, LoadError::IoError, "write failed on " + tmp.string());
       std::remove(tmp.string().c_str());
       return false;
     }
   }
-  sync_path(tmp.string().c_str());
+  sync_path_durable(tmp);
+  if (faults.any_armed() &&
+      faults.skip_rename(util::FaultPoint::StorageRename)) {
+    // Simulated crash in the window between the tmp write and the rename:
+    // a fully written tmp file exists but the final path still holds the
+    // previous checkpoint.
+    set_status(status, LoadError::IoError,
+               "injected crash before rename of " + tmp.string());
+    return false;
+  }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
@@ -183,7 +227,7 @@ bool write_file_atomic(const std::filesystem::path& path,
     return false;
   }
   const std::filesystem::path dir = path.parent_path();
-  sync_path(dir.empty() ? "." : dir.string().c_str());
+  sync_path_durable(dir.empty() ? std::filesystem::path(".") : dir);
   return true;
 }
 

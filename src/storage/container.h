@@ -42,6 +42,13 @@ enum class SectionId : std::uint64_t {
   TrainingStats = 8,  ///< WHOIS training aggregates + model readiness
   Intel = 9,          ///< external intelligence (IOC) domain list
   Counters = 10,      ///< days-operated and other lifetime counters
+  TrainingRows = 11,  ///< unfinalized regression rows (mid-training resume)
+  RtCursor = 12,      ///< rt tail cursor (day + byte offset) for failover
+  Incidents = 13,     ///< cross-day incident-store snapshot
+  // 20+ appear only inside EIDDELT1 delta frames (storage/delta.h).
+  DeltaHeader = 20,   ///< base checkpoint id + frame sequence number + day
+  DomainDelta = 21,   ///< domains first seen since the previous frame
+  UaDelta = 22,       ///< UA entries touched since the previous frame
 };
 
 /// Accumulates sections, then renders the full container byte stream.
@@ -93,5 +100,9 @@ std::optional<std::string> read_file(const std::filesystem::path& path,
 /// never a prefix.
 bool write_file_atomic(const std::filesystem::path& path,
                        std::string_view bytes, LoadStatus* status = nullptr);
+
+/// fsync a file (or directory — the rename/creation record) to stable
+/// storage. Shared by the atomic-write and delta-chain append paths.
+void sync_path_durable(const std::filesystem::path& path);
 
 }  // namespace eid::storage

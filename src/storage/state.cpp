@@ -7,47 +7,28 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/encoding.h"
 #include "util/binary.h"
 #include "util/executor.h"
 
+// The encoding primitives live in storage::detail (declared in
+// storage/encoding.h) so the delta-chain encoder (storage/delta.cpp)
+// assembles frames from the exact same codecs the full checkpoint uses.
 namespace eid::storage {
+namespace detail {
 namespace {
 
 // Front-coding restarts every this many table entries, independent of the
 // thread count, so the encoded bytes are identical for any parallelism.
 constexpr std::size_t kFrontCodeBlock = 1024;
 
-using StringTable = std::vector<std::string_view>;
+}  // namespace
 
 StringTable sorted_unique(std::vector<std::string_view> strings) {
   std::sort(strings.begin(), strings.end());
   strings.erase(std::unique(strings.begin(), strings.end()), strings.end());
   return strings;
 }
-
-/// Hashed lookup over the sorted table. Binary-searching per string was
-/// the encode hot spot (the big tables are UA strings with long shared
-/// prefixes, making each lexicographic comparison expensive); one O(n)
-/// index build replaces millions of O(log n) string compares. Ids keep
-/// the table's sort order, so id order == lexicographic order and every
-/// encoded byte is unchanged.
-class TableIndex {
- public:
-  explicit TableIndex(const StringTable& table) {
-    ids_.reserve(table.size());
-    for (std::size_t i = 0; i < table.size(); ++i) {
-      ids_.emplace(table[i], static_cast<std::uint64_t>(i));
-    }
-  }
-
-  /// Id of `text` in the table. Caller guarantees membership.
-  std::uint64_t id(std::string_view text) const {
-    return ids_.find(text)->second;
-  }
-
- private:
-  std::unordered_map<std::string_view, std::uint64_t> ids_;
-};
 
 std::size_t common_prefix(std::string_view a, std::string_view b) {
   const std::size_t cap = std::min(a.size(), b.size());
@@ -63,7 +44,7 @@ std::size_t common_prefix(std::string_view a, std::string_view b) {
 /// util::parallel_ranges with bit-stable output.
 std::string encode_string_table(const StringTable& table,
                                 std::size_t n_threads,
-                                util::Executor* executor = nullptr) {
+                                util::Executor* executor) {
   const std::size_t n = table.size();
   const std::size_t n_blocks = (n + kFrontCodeBlock - 1) / kFrontCodeBlock;
   std::vector<std::string> blocks(n_blocks);
@@ -98,21 +79,6 @@ std::string encode_string_table(const StringTable& table,
   for (const std::string& block : blocks) out.bytes(block);
   return out.take();
 }
-
-/// Decoded string table: all strings expanded into one arena, referenced
-/// by (offset, length) spans. Section decoders hand out views; each string
-/// is owned exactly once by whichever container it restores into — the
-/// table itself never allocates per string.
-struct DecodedTable {
-  std::string arena;
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> spans;
-
-  std::size_t size() const { return spans.size(); }
-  std::string_view view(std::uint64_t i) const {
-    const auto [offset, length] = spans[static_cast<std::size_t>(i)];
-    return std::string_view(arena).substr(offset, length);
-  }
-};
 
 bool decode_string_table(std::string_view payload, DecodedTable& table,
                          LoadStatus* status) {
@@ -605,6 +571,90 @@ bool decode_training_section(std::string_view payload, TrainingStats& training,
   return true;
 }
 
+// ---- Unfinalized training rows (mid-training crash resume) ----
+
+namespace {
+
+void encode_matrix(util::ByteWriter& out, std::uint64_t cols,
+                   const std::vector<double>& values,
+                   const std::vector<double>& labels) {
+  out.varint(cols);
+  out.varint(labels.size());
+  for (const double v : values) out.f64(v);
+  for (const double v : labels) out.f64(v);
+}
+
+bool decode_matrix(util::ByteReader& in, const char* what, std::uint64_t& cols,
+                   std::vector<double>& values, std::vector<double>& labels,
+                   LoadStatus* status) {
+  std::uint64_t rows = 0;
+  if (!in.varint(cols) || !in.varint(rows)) {
+    set_status(status, LoadError::Truncated,
+               std::string("training rows: ") + what + " header cut short");
+    return false;
+  }
+  // 8 bytes per f64, (cols + 1) f64s per row: a corrupt header cannot
+  // force a huge allocation past this bound.
+  if (cols > 64 || rows > in.remaining() / 8 / (cols + 1)) {
+    set_status(status, LoadError::Malformed,
+               std::string("training rows: ") + what + " dimensions too large");
+    return false;
+  }
+  values.clear();
+  values.reserve(static_cast<std::size_t>(rows * cols));
+  labels.clear();
+  labels.reserve(static_cast<std::size_t>(rows));
+  for (std::uint64_t i = 0; i < rows * cols; ++i) {
+    double v = 0.0;
+    if (!in.f64(v)) {
+      set_status(status, LoadError::Truncated,
+                 std::string("training rows: ") + what + " values cut short");
+      return false;
+    }
+    values.push_back(v);
+  }
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    double v = 0.0;
+    if (!in.f64(v)) {
+      set_status(status, LoadError::Truncated,
+                 std::string("training rows: ") + what + " labels cut short");
+      return false;
+    }
+    labels.push_back(v);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string encode_training_rows_section(const TrainingRows& rows) {
+  util::ByteWriter out;
+  out.reserve((rows.cc.size() + rows.cc_labels.size() + rows.sim.size() +
+               rows.sim_labels.size()) *
+                  8 +
+              40);
+  encode_matrix(out, rows.cc_cols, rows.cc, rows.cc_labels);
+  encode_matrix(out, rows.sim_cols, rows.sim, rows.sim_labels);
+  return out.take();
+}
+
+bool decode_training_rows_section(std::string_view payload, TrainingRows& rows,
+                                  LoadStatus* status) {
+  util::ByteReader in(payload);
+  if (!decode_matrix(in, "c&c", rows.cc_cols, rows.cc, rows.cc_labels,
+                     status) ||
+      !decode_matrix(in, "similarity", rows.sim_cols, rows.sim,
+                     rows.sim_labels, status)) {
+    return false;
+  }
+  if (!in.at_end()) {
+    set_status(status, LoadError::Malformed,
+               "training rows: trailing bytes after the last matrix");
+    return false;
+  }
+  return true;
+}
+
 std::string encode_counters_section(const Counters& counters) {
   util::ByteWriter out;
   out.varint(counters.days_operated);
@@ -647,6 +697,12 @@ std::optional<ContainerReader> open_container(std::string_view bytes,
   return reader;
 }
 
+}  // namespace detail
+
+using namespace detail;
+
+namespace {
+
 bool save_container(const ContainerWriter& writer,
                     const std::filesystem::path& path, LoadStatus* status) {
   return write_file_atomic(path, writer.encode(), status);
@@ -667,6 +723,7 @@ DetectorStateView view_of(const DetectorState& state) {
   view.training = state.training;
   view.intel_domains = &state.intel_domains;
   view.counters = state.counters;
+  view.training_rows = &state.training_rows;
   return view;
 }
 
@@ -719,6 +776,10 @@ std::string encode_detector_state(const DetectorStateView& state,
   }
   writer.add_section(SectionId::Counters,
                      encode_counters_section(state.counters));
+  if (state.training_rows != nullptr && !state.training_rows->empty()) {
+    writer.add_section(SectionId::TrainingRows,
+                       encode_training_rows_section(*state.training_rows));
+  }
   return writer.encode();
 }
 
@@ -779,6 +840,12 @@ std::optional<DetectorState> decode_detector_state(std::string_view bytes,
   if (const Section* intel = reader->find(SectionId::Intel)) {
     if (!decode_string_set_section(intel->payload, table, "intel",
                                    state.intel_domains, status)) {
+      return std::nullopt;
+    }
+  }
+  if (const Section* rows = reader->find(SectionId::TrainingRows)) {
+    if (!decode_training_rows_section(rows->payload, state.training_rows,
+                                      status)) {
       return std::nullopt;
     }
   }

@@ -47,6 +47,22 @@ struct Counters {
   std::uint64_t days_operated = 0;  ///< completed operation days (run_day)
 };
 
+/// Unfinalized regression rows accumulated during training, flattened
+/// row-major. Carried in checkpoints taken before finalize_training() so
+/// a crash mid-training resumes with the exact rows an uninterrupted run
+/// would hand to the solver. Once the models are finalized the rows are
+/// dropped (an operating detector never re-trains from them).
+struct TrainingRows {
+  std::uint64_t cc_cols = 0;       ///< features::kCcFeatureCount when rows exist
+  std::uint64_t sim_cols = 0;      ///< features::kSimFeatureCount when rows exist
+  std::vector<double> cc;          ///< cc_cols doubles per labeled C&C row
+  std::vector<double> cc_labels;   ///< one label per C&C row
+  std::vector<double> sim;         ///< sim_cols doubles per similarity row
+  std::vector<double> sim_labels;  ///< one label per similarity row
+
+  bool empty() const { return cc_labels.empty() && sim_labels.empty(); }
+};
+
 /// Everything needed to resume an api::Detector in a fresh process.
 struct DetectorState {
   core::PipelineConfig config{};
@@ -59,6 +75,7 @@ struct DetectorState {
   TrainingStats training{};
   std::vector<std::string> intel_domains;  ///< external IOC feed snapshot
   Counters counters{};
+  TrainingRows training_rows{};  ///< non-empty only before models_ready
 };
 
 /// Borrowed view of a detector's state for encoding without copying the
@@ -75,6 +92,7 @@ struct DetectorStateView {
   TrainingStats training{};
   const std::vector<std::string>* intel_domains = nullptr;
   Counters counters{};
+  const TrainingRows* training_rows = nullptr;  ///< nullptr/empty == none
 };
 
 /// Borrow an owning state (helper for the forwarding overloads).

@@ -1,0 +1,123 @@
+#include "util/fault_injection.h"
+
+namespace eid::util {
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(FaultPoint point, FaultAction action,
+                        std::uint64_t skip, std::uint64_t byte, unsigned bit,
+                        std::uint64_t repeat) {
+  const auto slot = static_cast<std::size_t>(point);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (plans_[slot].action == FaultAction::None &&
+      action != FaultAction::None) {
+    armed_.fetch_add(1, std::memory_order_relaxed);
+  } else if (plans_[slot].action != FaultAction::None &&
+             action == FaultAction::None) {
+    armed_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  plans_[slot] = Plan{action, skip, byte, bit % 8, repeat};
+}
+
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Plan& plan : plans_) plan = Plan{};
+  for (std::uint64_t& count : triggered_) count = 0;
+  armed_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::triggered(FaultPoint point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return triggered_[static_cast<std::size_t>(point)];
+}
+
+bool FaultInjector::consume(FaultPoint point, bool (*matches)(FaultAction),
+                            Plan& fired) {
+  const auto slot = static_cast<std::size_t>(point);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Plan& plan = plans_[slot];
+  if (plan.action == FaultAction::None || !matches(plan.action)) return false;
+  if (plan.skip > 0) {
+    --plan.skip;
+    return false;
+  }
+  fired = plan;
+  ++triggered_[slot];
+  if (--plan.repeat == 0) {
+    plan = Plan{};
+    armed_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+bool FaultInjector::fail_open(FaultPoint point) {
+  if (!any_armed()) return false;
+  Plan fired;
+  return consume(
+      point, [](FaultAction a) { return a == FaultAction::FailOpen; }, fired);
+}
+
+std::size_t FaultInjector::filter_write(FaultPoint point, std::size_t n,
+                                        bool& fail) {
+  if (!any_armed()) return n;
+  Plan fired;
+  const bool hit = consume(
+      point,
+      [](FaultAction a) {
+        return a == FaultAction::FailOp || a == FaultAction::TornWrite;
+      },
+      fired);
+  if (!hit) return n;
+  fail = true;
+  if (fired.action == FaultAction::FailOp) return 0;
+  return static_cast<std::size_t>(fired.byte) < n
+             ? static_cast<std::size_t>(fired.byte)
+             : n;
+}
+
+void FaultInjector::filter_read(FaultPoint point, std::string& bytes,
+                                bool& fail) {
+  if (!any_armed()) return;
+  Plan fired;
+  const bool hit = consume(
+      point,
+      [](FaultAction a) {
+        return a == FaultAction::FailOp || a == FaultAction::ShortRead ||
+               a == FaultAction::BitFlip;
+      },
+      fired);
+  if (!hit) return;
+  switch (fired.action) {
+    case FaultAction::FailOp:
+      fail = true;
+      break;
+    case FaultAction::ShortRead:
+      if (fired.byte < bytes.size()) {
+        bytes.resize(static_cast<std::size_t>(fired.byte));
+      }
+      break;
+    case FaultAction::BitFlip:
+      if (fired.byte < bytes.size()) {
+        bytes[static_cast<std::size_t>(fired.byte)] = static_cast<char>(
+            static_cast<unsigned char>(bytes[static_cast<std::size_t>(
+                fired.byte)]) ^
+            (1u << fired.bit));
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+bool FaultInjector::skip_rename(FaultPoint point) {
+  if (!any_armed()) return false;
+  Plan fired;
+  return consume(
+      point, [](FaultAction a) { return a == FaultAction::SkipRename; },
+      fired);
+}
+
+}  // namespace eid::util

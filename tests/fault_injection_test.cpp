@@ -1,0 +1,316 @@
+// Crash-point matrix (the acceptance criterion of the fault-injection
+// harness): for every injection point on the durability path, a save that
+// "crashes" there loses at most the day it was persisting — a fresh
+// process loads whatever the crash left on disk and replays the remaining
+// days to bit-identical DayReports versus the uninterrupted run. Read-side
+// faults (flaky disk, racing truncation, media corruption) fail or degrade
+// the load with the matching LoadError and succeed once the fault clears.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/detector.h"
+#include "api/event_source.h"
+#include "core/report_json.h"
+#include "profile/top_sites.h"
+#include "sim/ac.h"
+#include "storage/delta.h"
+#include "storage/state.h"
+#include "util/fault_injection.h"
+
+namespace eid {
+namespace {
+
+sim::AcConfig small_world() {
+  sim::AcConfig config;
+  config.seed = 31;
+  config.n_hosts = 60;
+  config.n_popular = 30;
+  config.tail_per_day = 15;
+  config.automated_tail_per_day = 2;
+  config.grayware_per_day = 1;
+  config.campaigns_per_week = 2.0;
+  return config;
+}
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("eid-fault-test-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+
+    scenario_ = std::make_unique<sim::AcScenario>(small_world());
+    const util::Day jan = scenario_->training_begin();
+    for (int d = 0; d < kBootstrapDays + kLabeledDays; ++d) {
+      training_.emplace_back(jan + d,
+                             scenario_->simulator().reduced_day(jan + d));
+    }
+    const util::Day feb = scenario_->operation_begin();
+    for (int d = 0; d < kOperationDays; ++d) {
+      operation_.emplace_back(feb + d,
+                              scenario_->simulator().reduced_day(feb + d));
+    }
+    seeds_.domains = scenario_->ioc_seeds();
+    top_sites_.add("top-whitelisted.example");
+
+    pretrain_ = dir_ / "pretrain.bin";
+    api::Detector trained = make_detector();
+    train(trained);
+    storage::LoadStatus status;
+    ASSERT_TRUE(trained.save_state(pretrain_, &status)) << status.detail;
+
+    // The uninterrupted run every crash case is compared against.
+    api::Detector baseline = make_pretrained();
+    for (int d = 0; d < kOperationDays; ++d) {
+      baseline_.push_back(
+          core::day_report_to_json(run_operation_day(baseline, d)));
+    }
+  }
+  void TearDown() override {
+    util::FaultInjector::instance().reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  static constexpr int kBootstrapDays = 4;
+  static constexpr int kLabeledDays = 6;
+  static constexpr int kOperationDays = 4;
+
+  api::Detector make_detector() {
+    core::PipelineConfig config;
+    api::Detector detector(config, scenario_->simulator().whois());
+    detector.set_top_sites(&top_sites_);
+    return detector;
+  }
+
+  void train(api::Detector& detector) {
+    const sim::IntelOracle& oracle = scenario_->oracle();
+    const core::LabelFn intel = [&oracle](const std::string& domain) {
+      return oracle.vt_reported(domain);
+    };
+    for (int d = 0; d < kBootstrapDays; ++d) {
+      api::VectorSource source(training_[d].first, &training_[d].second);
+      detector.ingest(source);
+    }
+    for (int d = kBootstrapDays; d < kBootstrapDays + kLabeledDays; ++d) {
+      api::VectorSource source(training_[d].first, &training_[d].second);
+      detector.ingest(source, intel);
+    }
+    detector.finalize_training();
+    detector.set_intel_domains(seeds_.domains);
+  }
+
+  api::Detector make_pretrained() {
+    api::Detector detector = make_detector();
+    storage::LoadStatus status;
+    EXPECT_TRUE(detector.load_state(pretrain_, &status)) << status.detail;
+    return detector;
+  }
+
+  core::DayReport run_operation_day(api::Detector& detector, int index) {
+    api::VectorSource source(operation_[index].first,
+                             &operation_[index].second);
+    return detector.run_day(source, operation_[index].first, seeds_);
+  }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<sim::AcScenario> scenario_;
+  std::filesystem::path pretrain_;
+  std::vector<std::pair<util::Day, std::vector<logs::ConnEvent>>> training_;
+  std::vector<std::pair<util::Day, std::vector<logs::ConnEvent>>> operation_;
+  std::vector<std::string> baseline_;
+  core::SocSeeds seeds_;
+  profile::TopSitesList top_sites_;
+};
+
+/// One write-path crash case: which probe dies, how, and at which save.
+struct CrashCase {
+  const char* name;
+  util::FaultPoint point;
+  util::FaultAction action;
+  std::uint64_t byte = 0;     ///< TornWrite boundary
+  int crash_at_save = 1;      ///< 0-based save index the fault hits
+  std::size_t full_every = 8; ///< checkpoint policy for the run
+};
+
+TEST_F(FaultInjectionTest, CrashPointMatrixReplaysToBitIdenticalReports) {
+  const CrashCase kMatrix[] = {
+      // Crash during the initial full checkpoint (nothing on disk yet is
+      // not in the matrix — there is no state to recover to; the first
+      // *overwrite* of a full checkpoint is, via full_every=1).
+      {"full-open-fails", util::FaultPoint::StorageOpenWrite,
+       util::FaultAction::FailOpen, 0, 1, 1},
+      {"full-write-dies-mid-tmp", util::FaultPoint::StorageWrite,
+       util::FaultAction::TornWrite, 100, 1, 1},
+      {"full-write-fails", util::FaultPoint::StorageWrite,
+       util::FaultAction::FailOp, 0, 1, 1},
+      {"crash-between-write-and-rename", util::FaultPoint::StorageRename,
+       util::FaultAction::SkipRename, 0, 1, 1},
+      // Crash appending a delta frame (save 0 was the full base).
+      {"append-open-fails", util::FaultPoint::StorageOpenWrite,
+       util::FaultAction::FailOpen, 0, 1, 8},
+      {"append-dies-mid-frame", util::FaultPoint::StorageAppend,
+       util::FaultAction::TornWrite, 24, 1, 8},
+      {"append-fails", util::FaultPoint::StorageAppend,
+       util::FaultAction::FailOp, 0, 2, 8},
+      // Crash during the compaction rewrite, with a live chain on disk:
+      // the old base + old chain must still load.
+      {"compaction-rename-skipped", util::FaultPoint::StorageRename,
+       util::FaultAction::SkipRename, 0, 2, 2},
+      {"compaction-write-dies", util::FaultPoint::StorageWrite,
+       util::FaultAction::TornWrite, 64, 2, 2},
+  };
+
+  util::FaultInjector& faults = util::FaultInjector::instance();
+  int case_index = 0;
+  for (const CrashCase& c : kMatrix) {
+    SCOPED_TRACE(c.name);
+    const auto state_path =
+        dir_ / ("crash-" + std::to_string(case_index++) + ".bin");
+    api::CheckpointPolicy policy;
+    policy.full_every = c.full_every;
+    storage::LoadStatus status;
+
+    // Primary: run days, saving after each; the save after day
+    // `crash_at_save` dies at the armed point — then the process "dies"
+    // too (we simply stop driving this detector).
+    api::Detector primary = make_pretrained();
+    for (int d = 0; d <= c.crash_at_save; ++d) {
+      run_operation_day(primary, d);
+      if (d == c.crash_at_save) {
+        faults.arm(c.point, c.action, /*skip=*/0, c.byte);
+        EXPECT_FALSE(primary.save_state_delta(state_path, policy, &status))
+            << "the armed save must fail";
+        EXPECT_GE(faults.triggered(c.point), 1u) << "fault never fired";
+        faults.reset();
+      } else {
+        ASSERT_TRUE(primary.save_state_delta(state_path, policy, &status))
+            << status.detail;
+      }
+    }
+
+    // Recovery: a fresh process loads what the crash left. The last
+    // *successful* save covered days 0..crash_at_save-1, so the crashed
+    // day and everything after replay from the log.
+    storage::ChainLoadReport report;
+    api::Detector recovered = make_detector();
+    ASSERT_TRUE(recovered.load_state(state_path, &report, &status))
+        << status.detail;
+    EXPECT_EQ(recovered.days_operated(),
+              static_cast<std::size_t>(c.crash_at_save));
+    for (int d = c.crash_at_save; d < kOperationDays; ++d) {
+      EXPECT_EQ(core::day_report_to_json(run_operation_day(recovered, d)),
+                baseline_[d])
+          << "day " << d << " diverged after crash-recovery";
+    }
+    // No tmp-file litter from the aborted atomic write survives a
+    // subsequent successful save.
+    ASSERT_TRUE(recovered.save_state_delta(state_path, policy, &status))
+        << status.detail;
+    EXPECT_FALSE(std::filesystem::exists(state_path.string() + ".tmp"));
+  }
+}
+
+TEST_F(FaultInjectionTest, ReadFaultsFailTheLoadThenClearCleanly) {
+  const auto state_path = dir_ / "state.bin";
+  api::Detector primary = make_pretrained();
+  api::CheckpointPolicy policy;
+  policy.full_every = 8;
+  storage::LoadStatus status;
+  for (int d = 0; d < 2; ++d) {
+    run_operation_day(primary, d);
+    ASSERT_TRUE(primary.save_state_delta(state_path, policy, &status));
+  }
+
+  util::FaultInjector& faults = util::FaultInjector::instance();
+  struct ReadCase {
+    const char* name;
+    util::FaultAction action;
+    std::uint64_t byte;
+    storage::LoadError want;
+  };
+  const ReadCase kCases[] = {
+      {"open-denied", util::FaultAction::FailOpen, 0,
+       storage::LoadError::IoError},
+      {"read-fails", util::FaultAction::FailOp, 0,
+       storage::LoadError::IoError},
+      {"truncated-under-reader", util::FaultAction::ShortRead, 200,
+       storage::LoadError::Truncated},
+      {"media-bit-flip", util::FaultAction::BitFlip, 5000,
+       storage::LoadError::ChecksumMismatch},
+  };
+  for (const ReadCase& c : kCases) {
+    SCOPED_TRACE(c.name);
+    const util::FaultPoint point = c.action == util::FaultAction::FailOpen
+                                       ? util::FaultPoint::StorageOpenRead
+                                       : util::FaultPoint::StorageRead;
+    faults.arm(point, c.action, /*skip=*/0, c.byte);
+    storage::LoadStatus local;
+    api::Detector detector = make_detector();
+    EXPECT_FALSE(detector.load_state(state_path, nullptr, &local));
+    EXPECT_EQ(local.error, c.want)
+        << storage::load_error_name(local.error) << " — " << local.detail;
+    faults.reset();
+  }
+
+  // The same faults against the *chain* read degrade instead of failing:
+  // the base (read first) passes clean, the chain read dies, the load
+  // keeps the base state. skip=1 leaves the base read unharmed.
+  for (const ReadCase& c : kCases) {
+    SCOPED_TRACE(std::string("chain-") + c.name);
+    const util::FaultPoint point = c.action == util::FaultAction::FailOpen
+                                       ? util::FaultPoint::StorageOpenRead
+                                       : util::FaultPoint::StorageRead;
+    faults.arm(point, c.action, /*skip=*/1, c.byte);
+    storage::ChainLoadReport report;
+    storage::LoadStatus local;
+    api::Detector detector = make_detector();
+    EXPECT_TRUE(detector.load_state(state_path, &report, &local))
+        << "chain-read faults must not fail the load: " << local.detail;
+    EXPECT_EQ(detector.days_operated(), report.frames_applied + 1);
+    faults.reset();
+  }
+
+  // Fault cleared: the exact same load succeeds in full.
+  storage::ChainLoadReport report;
+  api::Detector detector = make_detector();
+  ASSERT_TRUE(detector.load_state(state_path, &report, &status))
+      << status.detail;
+  EXPECT_EQ(report.frames_applied, 1u);
+  EXPECT_EQ(detector.days_operated(), 2u);
+}
+
+TEST_F(FaultInjectionTest, InjectorIsInertWhenDisarmed) {
+  util::FaultInjector& faults = util::FaultInjector::instance();
+  EXPECT_FALSE(faults.any_armed());
+  EXPECT_FALSE(faults.fail_open(util::FaultPoint::StorageOpenRead));
+  bool fail = false;
+  EXPECT_EQ(faults.filter_write(util::FaultPoint::StorageWrite, 100, fail),
+            100u);
+  EXPECT_FALSE(fail);
+  std::string bytes = "payload";
+  faults.filter_read(util::FaultPoint::StorageRead, bytes, fail);
+  EXPECT_EQ(bytes, "payload");
+  EXPECT_FALSE(fail);
+  EXPECT_FALSE(faults.skip_rename(util::FaultPoint::StorageRename));
+
+  // skip + repeat bookkeeping: fire-after-skip, then exhaust.
+  faults.arm(util::FaultPoint::StorageOpenRead, util::FaultAction::FailOpen,
+             /*skip=*/2, /*byte=*/0, /*bit=*/0, /*repeat=*/2);
+  EXPECT_TRUE(faults.any_armed());
+  EXPECT_FALSE(faults.fail_open(util::FaultPoint::StorageOpenRead));
+  EXPECT_FALSE(faults.fail_open(util::FaultPoint::StorageOpenRead));
+  EXPECT_TRUE(faults.fail_open(util::FaultPoint::StorageOpenRead));
+  EXPECT_TRUE(faults.fail_open(util::FaultPoint::StorageOpenRead));
+  EXPECT_FALSE(faults.fail_open(util::FaultPoint::StorageOpenRead));
+  EXPECT_EQ(faults.triggered(util::FaultPoint::StorageOpenRead), 2u);
+  faults.reset();
+  EXPECT_FALSE(faults.any_armed());
+  EXPECT_EQ(faults.triggered(util::FaultPoint::StorageOpenRead), 0u);
+}
+
+}  // namespace
+}  // namespace eid
